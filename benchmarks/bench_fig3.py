@@ -1,0 +1,61 @@
+"""E1 — Fig. 3: required encryptions to break the first GIFT round.
+
+Regenerates both series (with and without flush) across probing rounds
+1-10 and benchmarks the experiment unit (one first-round attack at the
+paper's best case: probing round 1, flush enabled).
+"""
+
+import random
+
+from repro.analysis import run_figure3, render_figure3
+from repro.core import AttackConfig, GrinchAttack
+from repro.gift import TracedGift64
+
+from conftest import simulated_effort_budget
+
+
+def test_fig3_regeneration(publish):
+    """Regenerate Fig. 3 and check its two qualitative claims."""
+    result = run_figure3(
+        probing_rounds=tuple(range(1, 11)),
+        runs=2,
+        max_simulated_effort=simulated_effort_budget(),
+    )
+    publish("fig3_first_round_effort", render_figure3(result))
+
+    for use_flush in (True, False):
+        efforts = [p.encryptions for p in result.series(use_flush)]
+        assert efforts == sorted(efforts), "effort must grow with probing round"
+    for with_flush, without in zip(result.series(True),
+                                   result.series(False)):
+        assert without.encryptions > with_flush.encryptions
+
+
+def test_fig3_round1_attack_benchmark(benchmark):
+    """Benchmark one bar: the round-1-probing first-round attack."""
+    key = random.Random(1).getrandbits(128)
+    victim = TracedGift64(key)
+
+    def attack_once():
+        return GrinchAttack(
+            victim, AttackConfig(seed=3, max_total_encryptions=None)
+        ).attack_first_round()
+
+    result = benchmark(attack_once)
+    assert result.recovered_bits == 32
+
+
+def test_fig3_no_flush_attack_benchmark(benchmark):
+    """Benchmark the matching "Grinch without Flush" bar."""
+    key = random.Random(2).getrandbits(128)
+    victim = TracedGift64(key)
+
+    def attack_once():
+        return GrinchAttack(
+            victim,
+            AttackConfig(seed=3, use_flush=False,
+                         max_total_encryptions=None),
+        ).attack_first_round()
+
+    result = benchmark(attack_once)
+    assert result.recovered_bits == 32

@@ -1,0 +1,50 @@
+"""E2 — Table I: required encryptions vs. cache line size.
+
+Regenerates the full 4x5 grid with the paper's >1M drop-out rule and
+benchmarks one representative Monte-Carlo cell per line size.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import render_table1, run_table1
+from repro.cache import CacheGeometry
+from repro.core import AttackConfig, GrinchAttack
+from repro.gift import TracedGift64
+
+from conftest import simulated_effort_budget
+
+
+def test_table1_regeneration(publish):
+    """Regenerate Table I and check its qualitative structure."""
+    result = run_table1(
+        runs=2, max_simulated_effort=simulated_effort_budget()
+    )
+    publish("table1_cache_line_sweep", render_table1(result))
+
+    # Effort grows along both axes until the >1M drop-outs; the
+    # drop-out triangle matches the paper's.
+    assert result.cell(1, 1).encryptions < result.cell(1, 5).encryptions
+    assert result.cell(1, 1).encryptions < result.cell(4, 1).encryptions
+    assert result.cell(2, 5).dropped_out
+    assert result.cell(4, 3).dropped_out
+    assert result.cell(8, 2).dropped_out
+    assert not result.cell(1, 5).dropped_out
+
+
+@pytest.mark.parametrize("line_words", [1, 2])
+def test_table1_cell_benchmark(benchmark, line_words):
+    """Benchmark the (line_words, probing round 1) cell."""
+    key = random.Random(line_words).getrandbits(128)
+    victim = TracedGift64(key)
+    config = AttackConfig(
+        seed=9,
+        geometry=CacheGeometry(line_words=line_words),
+        max_total_encryptions=None,
+    )
+
+    result = benchmark(
+        lambda: GrinchAttack(victim, config).attack_first_round()
+    )
+    assert result.encryptions > 0

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates its paper artefact (table/figure rows) and
+writes the rendering to ``benchmarks/results/<name>.txt`` in addition to
+printing it, so the reproduced numbers survive pytest's output capture.
+
+Set ``REPRO_FULL=1`` to run the Monte-Carlo sweeps at full size (every
+cell simulated up to the paper's 1M drop-out threshold) instead of the
+quick defaults.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    """Whether the expensive full-fidelity sweeps were requested."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def simulated_effort_budget() -> float:
+    """Per-cell Monte-Carlo budget for the sweep harnesses."""
+    return 1_500_000.0 if full_mode() else 20_000.0
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Write one regenerated artefact to disk and echo it."""
+
+    def _publish(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _publish

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""E4 in detail: a narrated full 128-bit GRINCH key recovery.
+
+Walks the five methodology steps of Section III-C round by round,
+showing how each attacked round contributes a disjoint 32-bit quarter
+of the master key, how the observations converge per segment, and how
+the recovered round keys reassemble into the master key.
+
+Run:  python examples/full_key_recovery.py
+"""
+
+import random
+
+from repro import AttackConfig, GrinchAttack, TracedGift64
+from repro.gift import round_keys
+
+
+def main() -> None:
+    rng = random.Random(7)
+    secret_key = rng.getrandbits(128)
+    victim = TracedGift64(secret_key)
+    attack = GrinchAttack(victim, AttackConfig(seed=9))
+
+    print("GRINCH full key recovery, step by step")
+    print("======================================")
+    print(f"planted key: {secret_key:032x}\n")
+
+    result = attack.recover_master_key()
+
+    true_round_keys = round_keys(secret_key, 4, width=64)
+    for outcome in result.rounds:
+        u, v = outcome.estimate.as_round_key()
+        expected_u, expected_v = true_round_keys[outcome.round_index - 1]
+        status = "ok" if (u, v) == (expected_u, expected_v) else "MISMATCH"
+        print(f"round {outcome.round_index}: U={u:04x} V={v:04x} "
+              f"({outcome.encryptions} encryptions, {status})")
+        busiest = max(outcome.segments, key=lambda s: s.encryptions)
+        quietest = min(outcome.segments, key=lambda s: s.encryptions)
+        print(f"  per-segment effort: {quietest.encryptions} "
+              f"(segment {quietest.segment}) .. {busiest.encryptions} "
+              f"(segment {busiest.segment})")
+
+    print(f"\nassembled master key: {result.master_key:032x}")
+    print(f"matches planted key : {result.master_key == secret_key}")
+    print(f"total encryptions   : {result.total_encryptions}")
+    print("\nWhy four rounds suffice: the GIFT key state rotates a full")
+    print("32 bits per round, so rounds 1-4 consume disjoint quarters of")
+    print("the master key (see repro.gift.keyschedule).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Extension: GRINCH against GIFT-128 (the variant inside GIFT-COFB).
+
+The paper develops the attack for GIFT-64; the NIST-LWC candidates it
+motivates (GIFT-COFB and friends) build on GIFT-128.  This example runs
+the generalised attack and highlights the structural differences:
+
+* 32 segments, key bits on nibble offsets 1/2 (not 0/1);
+* 64-bit round keys, so **two** attacked rounds cover the master key
+  (GIFT-64 needs four);
+* round 3 is the verification round (its key is derived from round 1's
+  by the schedule);
+* with 2-word cache lines the hidden index bit is key-FREE, so —
+  unlike GIFT-64 — no ambiguity arises at all.
+
+Run:  python examples/gift128_attack.py
+"""
+
+import random
+
+from repro import AttackConfig, CacheGeometry, GrinchAttack, TracedGift128
+
+
+def main() -> None:
+    key = random.Random(128).getrandbits(128)
+    victim = TracedGift128(key)
+
+    print("GRINCH vs. GIFT-128")
+    print("===================")
+    print(f"planted key: {key:032x}\n")
+
+    result = GrinchAttack(victim, AttackConfig(seed=10)) \
+        .recover_master_key()
+    print(f"recovered  : {result.master_key:032x}")
+    print(f"exact match: {result.master_key == key}")
+    print(f"encryptions: {result.total_encryptions} "
+          f"(two rounds x 32 segments)")
+    for outcome in result.rounds:
+        u, v = outcome.estimate.as_round_key()
+        print(f"  round {outcome.round_index}: U={u:08x} V={v:08x} "
+              f"({outcome.encryptions} encryptions, 64 key bits)")
+
+    print("\nLine-size contrast with GIFT-64 (first-round attack):")
+    for line_words in (1, 2):
+        attack = GrinchAttack(
+            TracedGift128(key),
+            AttackConfig(seed=11,
+                         geometry=CacheGeometry(line_words=line_words),
+                         max_total_encryptions=None),
+        )
+        outcome = attack.attack_first_round()
+        print(f"  {line_words}-word lines: {outcome.recovered_bits}/64 "
+              f"bits outright in {outcome.encryptions} encryptions")
+    print("\n(2-word lines hide index bit 0, which carries no key for")
+    print("GIFT-128 — the same geometry halves GIFT-64's yield.  From")
+    print("4-word lines on, the V bit hides too: 32/64 bits outright,")
+    print("with the rest resolved by the multi-round machinery.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""End-to-end IoT scenario: stealing a sensor hub's GIFT key.
+
+The paper's motivating deployment (Section I): an IoT device encrypts
+telemetry with GIFT-64 while untrusted third-party tasks share the SoC.
+This example plays the whole story on the MPSoC model:
+
+1. a sensor hub tile encrypts telemetry frames with a provisioned key;
+2. a malicious co-resident task checks, with the timing model, that it
+   can probe the shared cache inside round 1 (Table II row 2);
+3. it mounts GRINCH — crafting "telemetry" the victim willingly
+   encrypts — and recovers the provisioned key;
+4. it decrypts a captured frame to prove the compromise.
+
+Run:  python examples/iot_telemetry_attack.py
+"""
+
+import random
+
+from repro import AttackConfig, GrinchAttack, TracedGift64
+from repro.core import NoiseModel
+from repro.soc import ClockDomain, MPSoC
+
+
+def main() -> None:
+    rng = random.Random(314)
+    provisioned_key = rng.getrandbits(128)
+    sensor_hub = TracedGift64(provisioned_key)
+
+    print("IoT telemetry attack scenario")
+    print("=============================\n")
+
+    # -- Step 1: the device operates normally ---------------------------
+    telemetry = [rng.getrandbits(64) for _ in range(3)]
+    frames = [sensor_hub.encrypt(t) for t in telemetry]
+    print("sensor hub transmits encrypted telemetry frames:")
+    for frame in frames:
+        print(f"  {frame:016x}")
+
+    # -- Step 2: feasibility check on the platform ----------------------
+    clock = ClockDomain(10_000_000)  # typical IoT operating point
+    report = MPSoC(clock).run_attack_window()
+    print(f"\nattacker tile timing check @ {clock.describe()}: "
+          f"probe sweep {report.probe_latency_s * 1e6:.0f} us, "
+          f"round {report.round_duration_s * 1e3:.1f} ms "
+          f"-> can observe round {report.probed_round}")
+    if not report.practical:
+        raise SystemExit("platform not attackable at this configuration")
+
+    # -- Step 3: mount GRINCH (with some co-runner noise for realism) ---
+    attack = GrinchAttack(
+        sensor_hub,
+        AttackConfig(
+            seed=99,
+            probing_round=report.probed_round,
+            noise=NoiseModel(touch_probability=0.2, monitored_touches=1),
+            max_total_encryptions=None,
+        ),
+    )
+    result = attack.recover_master_key()
+    print(f"\nGRINCH recovered key {result.master_key:032x}")
+    print(f"after {result.total_encryptions} chosen-plaintext encryptions")
+
+    # -- Step 4: decrypt the captured traffic ---------------------------
+    stolen = TracedGift64(result.master_key)
+    recovered = [stolen.decrypt(frame) for frame in frames]
+    print("\ndecrypted captured frames with the stolen key:")
+    for original, plain in zip(telemetry, recovered):
+        status = "ok" if original == plain else "FAIL"
+        print(f"  {plain:016x}  ({status})")
+    assert recovered == telemetry
+    print("\ncompromise complete — every future frame is readable.")
+
+
+if __name__ == "__main__":
+    main()

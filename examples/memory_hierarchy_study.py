@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Future-work study: GRINCH across a multi-level cache hierarchy.
+
+The paper closes with "further explore the effect of the memory
+hierarchy on the effectiveness of the attack".  This example does it on
+the two-level substrate: the victim encrypts on core 0 behind a private
+L1 while the attacker on core 1 can only flush globally (clflush) and
+sense the shared L2.
+
+Findings (regenerated live below):
+
+* an **inclusive** L2 mirrors every victim fill — the cross-core attack
+  recovers the full key at essentially single-level cost;
+* an **exclusive** L2 holds only L1 *victims*; GIFT's 16-byte S-box
+  lives comfortably in L1, so the shared level carries just an
+  occasional eviction spill and the intersection attack collapses.
+
+Run:  python examples/memory_hierarchy_study.py
+"""
+
+import random
+
+from repro import AttackConfig, GrinchAttack, TracedGift64
+from repro.cache import InclusionPolicy
+from repro.core import AttackError, make_cross_core_runner
+
+
+def main() -> None:
+    key = random.Random(2718).getrandbits(128)
+    victim = TracedGift64(key)
+
+    print("GRINCH across a two-level hierarchy (victim core 0, attacker core 1)")
+    print("====================================================================\n")
+
+    baseline = GrinchAttack(
+        victim, AttackConfig(seed=40)
+    ).recover_master_key()
+    print(f"baseline (single shared L1)  : key recovered in "
+          f"{baseline.total_encryptions} encryptions")
+
+    config = AttackConfig(seed=40, max_total_encryptions=None)
+    runner = make_cross_core_runner(
+        victim, config, InclusionPolicy.INCLUSIVE
+    )
+    inclusive = GrinchAttack(victim, config, runner=runner) \
+        .recover_master_key()
+    print(f"cross-core, inclusive L2     : key recovered in "
+          f"{inclusive.total_encryptions} encryptions")
+    assert inclusive.master_key == key
+
+    blind_config = AttackConfig(seed=40, max_encryptions_per_segment=500,
+                                max_total_encryptions=None)
+    blind_runner = make_cross_core_runner(
+        victim, blind_config, InclusionPolicy.EXCLUSIVE
+    )
+    try:
+        GrinchAttack(victim, blind_config, runner=blind_runner) \
+            .recover_master_key()
+        print("cross-core, exclusive L2     : UNEXPECTEDLY recovered")
+    except AttackError as error:
+        print(f"cross-core, exclusive L2     : attack fails "
+              f"({type(error).__name__})")
+
+    print("\nInterpretation: inclusion is the enabling property for")
+    print("cross-core Flush+Reload on tiny tables.  An exclusive LLC is")
+    print("an (incidental) countermeasure — though L1-eviction spills")
+    print("still trickle into L2, so it should not be relied upon; the")
+    print("paper's reshaped-S-box countermeasure closes the channel")
+    print("properly (examples/countermeasure_demo.py).")
+
+
+if __name__ == "__main__":
+    main()

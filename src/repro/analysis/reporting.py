@@ -1,0 +1,112 @@
+"""ASCII rendering of the reproduced tables and figures.
+
+The harnesses print the same rows/series the paper reports; these
+helpers keep the formatting in one place so benchmarks, examples and
+EXPERIMENTS.md all show identical layouts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .experiments import (
+    Figure3Result,
+    Table1Result,
+    Table2Result,
+)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Render an ASCII table with padded columns."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    divider = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in rows:
+        lines.append(
+            " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_count(value: float) -> str:
+    """Format an encryption count the way the paper prints them."""
+    if value >= 1_000_000:
+        return ">1M"
+    return f"{value:,.0f}"
+
+
+def render_figure3(result: Figure3Result) -> str:
+    """Fig. 3 as a log-scale ASCII bar chart plus the raw series."""
+    rows = []
+    flush = {p.probing_round: p for p in result.series(True)}
+    no_flush = {p.probing_round: p for p in result.series(False)}
+    rounds = sorted(set(flush) | set(no_flush))
+    max_log = max(
+        math.log10(max(p.encryptions, 1.0))
+        for p in result.points
+    )
+    scale = 40 / max(max_log, 1.0)
+    for probing_round in rounds:
+        for label, series in (("flush", flush), ("no-flush", no_flush)):
+            point = series.get(probing_round)
+            if point is None:
+                continue
+            bar = "#" * max(
+                1, int(math.log10(max(point.encryptions, 1.0)) * scale)
+            )
+            marker = "" if point.simulated else " (analytic)"
+            rows.append(
+                f"round {probing_round:>2} {label:>8} "
+                f"{format_count(point.encryptions):>10} |{bar}{marker}"
+            )
+    header = ("Fig. 3 — Required encryptions to break the 1st GIFT round\n"
+              "(log-scale bars; 'analytic' = beyond the Monte-Carlo budget)")
+    return header + "\n" + "\n".join(rows)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table I in the paper's layout."""
+    rounds = sorted({c.probing_round for c in result.cells})
+    headers = ["Cache Line Size"] + [str(r) for r in rounds]
+    return format_table(
+        "Table I — Required encryptions to attack the first round",
+        headers,
+        result.rows(),
+    )
+
+
+def render_table2(result: Table2Result) -> str:
+    """Table II in the paper's layout."""
+    frequencies = sorted({r.frequency_hz for r in result.reports})
+    headers = ["Platform"] + [f"{f / 1e6:g} MHz" for f in frequencies]
+    return format_table(
+        "Table II — Attack efficiency (probed round) of performed attacks",
+        headers,
+        result.rows(),
+    )
+
+
+def render_series(title: str, labels: Sequence[str],
+                  values: Sequence[float]) -> str:
+    """Simple labelled numeric series (used by ablation reports)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    width = max((len(l) for l in labels), default=0)
+    lines: List[str] = [title]
+    for label, value in zip(labels, values):
+        lines.append(f"  {label.ljust(width)} : {format_count(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Small statistics helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of the middle pair for even lengths)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def sample_stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(
+        sum((v - centre) ** 2 for v in values) / (len(values) - 1)
+    )
+
+
+def mean_confidence_interval(values: Sequence[float], z: float = 1.96
+                             ) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean."""
+    centre = mean(values)
+    if len(values) < 2:
+        return (centre, centre)
+    half_width = z * sample_stdev(values) / math.sqrt(len(values))
+    return (centre - half_width, centre + half_width)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of repeated measurements."""
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarise a non-empty sequence."""
+        if not values:
+            raise ValueError("cannot summarise an empty sequence")
+        return cls(
+            count=len(values),
+            mean=mean(values),
+            median=median(values),
+            stdev=sample_stdev(values),
+            minimum=min(values),
+            maximum=max(values),
+        )

@@ -1,0 +1,38 @@
+"""Set-associative cache simulator: the shared-L1 substrate of GRINCH."""
+
+from .geometry import PAPER_DEFAULT_GEOMETRY, WORD_BYTES, CacheGeometry
+from .hierarchy import AccessResult, MemoryHierarchy, MemoryLatencies
+from .multilevel import (
+    HierarchyStats,
+    InclusionPolicy,
+    MemoryLevel,
+    TwoLevelHierarchy,
+)
+from .policies import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .setassoc import CacheStats, SetAssociativeCache
+
+__all__ = [
+    "PAPER_DEFAULT_GEOMETRY",
+    "WORD_BYTES",
+    "CacheGeometry",
+    "AccessResult",
+    "MemoryHierarchy",
+    "MemoryLatencies",
+    "HierarchyStats",
+    "InclusionPolicy",
+    "MemoryLevel",
+    "TwoLevelHierarchy",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "CacheStats",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,85 @@
+"""Cache geometry description.
+
+The paper's platforms share one L1: 16-way set-associative, 1024 lines,
+and a line holding 1 word of 8 bits in the default configuration
+(Section IV-A).  Table I sweeps the line size over 1, 2, 4 and 8 words.
+``CacheGeometry`` captures exactly those parameters plus the word size,
+and derives the index/offset arithmetic every other cache component
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Word size of the paper's platforms: "a single word consisting of 8 bits".
+WORD_BYTES: int = 1
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a set-associative cache.
+
+    Parameters
+    ----------
+    total_lines:
+        Total number of cache lines (paper default: 1024).
+    ways:
+        Associativity (paper default: 16).
+    line_words:
+        Words per line (paper default: 1; Table I sweeps 1/2/4/8).
+    word_bytes:
+        Bytes per word (paper platforms: 1).
+    """
+
+    total_lines: int = 1024
+    ways: int = 16
+    line_words: int = 1
+    word_bytes: int = WORD_BYTES
+
+    def __post_init__(self) -> None:
+        for name in ("total_lines", "ways", "line_words", "word_bytes"):
+            value = getattr(self, name)
+            if not _is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        if self.ways > self.total_lines:
+            raise ValueError(
+                f"associativity {self.ways} exceeds line count {self.total_lines}"
+            )
+
+    @property
+    def line_bytes(self) -> int:
+        """Bytes per cache line."""
+        return self.line_words * self.word_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.total_lines // self.ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total cache capacity in bytes."""
+        return self.total_lines * self.line_bytes
+
+    def line_of(self, address: int) -> int:
+        """Line number (address stripped of the intra-line offset)."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        return address // self.line_bytes
+
+    def set_of(self, address: int) -> int:
+        """Cache set an address maps to (modulo indexing)."""
+        return self.line_of(address) % self.num_sets
+
+    def tag_of(self, address: int) -> int:
+        """Tag stored for an address (line number above the set index)."""
+        return self.line_of(address) // self.num_sets
+
+
+#: The paper's default L1 configuration.
+PAPER_DEFAULT_GEOMETRY = CacheGeometry()

@@ -1,0 +1,88 @@
+"""Two-level memory hierarchy with latency bookkeeping.
+
+The functional attack experiments (Fig. 3, Table I) need residency only;
+the platform experiments (Table II) additionally need *time*.  This
+module wraps the L1 simulator with per-access latencies so the SoC event
+model can charge cycles for hits, misses and remote (NoC) accesses.
+
+Latency defaults follow the paper's observations: an L1 hit costs a few
+cycles, a miss goes to DRAM, and a remote tile's access to the shared
+cache over the NoC takes about 400 ns at 50 MHz (= 20 cycles) including
+"processor delay, Network-on-Chip latency and cache memory response
+time" (Section IV-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geometry import CacheGeometry
+from .setassoc import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class MemoryLatencies:
+    """Access costs in clock cycles.
+
+    The values are frequency-independent cycle counts (SRAM/DRAM at the
+    paper's 10-50 MHz operating points is not the bottleneck, so a
+    constant-cycle model is adequate and matches their reported numbers).
+    """
+
+    l1_hit_cycles: int = 1
+    l1_miss_cycles: int = 10
+    flush_all_cycles: int = 4
+    flush_line_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.l1_hit_cycles, self.l1_miss_cycles,
+               self.flush_all_cycles, self.flush_line_cycles) < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one timed access."""
+
+    hit: bool
+    cycles: int
+
+
+class MemoryHierarchy:
+    """Shared L1 + DRAM with cycle accounting.
+
+    Multiple cores (victim and attacker) issue accesses against the same
+    instance — that sharing *is* the vulnerability.
+    """
+
+    def __init__(self, geometry: CacheGeometry = CacheGeometry(),
+                 latencies: MemoryLatencies = MemoryLatencies(),
+                 policy: str = "lru") -> None:
+        self.l1 = SetAssociativeCache(geometry, policy=policy)
+        self.latencies = latencies
+        self.total_cycles = 0
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        """Geometry of the shared L1."""
+        return self.l1.geometry
+
+    def access(self, address: int) -> AccessResult:
+        """Timed load: hit costs ``l1_hit_cycles``, miss adds DRAM fill."""
+        hit = self.l1.access(address)
+        cycles = (self.latencies.l1_hit_cycles if hit
+                  else self.latencies.l1_miss_cycles)
+        self.total_cycles += cycles
+        return AccessResult(hit=hit, cycles=cycles)
+
+    def flush_all(self) -> int:
+        """Timed whole-cache flush; returns its cycle cost."""
+        self.l1.flush_all()
+        self.total_cycles += self.latencies.flush_all_cycles
+        return self.latencies.flush_all_cycles
+
+    def flush_line(self, address: int) -> int:
+        """Timed single-line flush; returns its cycle cost."""
+        self.l1.flush_line(address)
+        self.total_cycles += self.latencies.flush_line_cycles
+        return self.latencies.flush_line_cycles

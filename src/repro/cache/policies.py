@@ -1,0 +1,112 @@
+"""Replacement policies for the set-associative cache simulator.
+
+The paper's RISCY L1 is LRU; FIFO and pseudo-random policies are
+provided for the ablation studies (replacement policy barely affects
+GRINCH because the S-box working set is far smaller than one way of the
+cache — the ablation benchmark demonstrates that claim).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim way within one cache set.
+
+    One policy instance is created per set; the cache calls
+    :meth:`on_access` for every hit or fill and :meth:`victim` when an
+    eviction is needed.
+    """
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+
+    @abstractmethod
+    def on_access(self, way: int) -> None:
+        """Note that ``way`` was touched (hit or newly filled)."""
+
+    @abstractmethod
+    def victim(self, occupied: List[bool]) -> int:
+        """Pick the way to evict; called only when every way is occupied."""
+
+    def on_invalidate(self, way: int) -> None:
+        """Note that ``way`` was invalidated (flush). Default: no-op."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used, the paper platforms' policy."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._stack: List[int] = []
+
+    def on_access(self, way: int) -> None:
+        if way in self._stack:
+            self._stack.remove(way)
+        self._stack.append(way)
+
+    def victim(self, occupied: List[bool]) -> int:
+        for way in self._stack:
+            if occupied[way]:
+                return way
+        raise RuntimeError("victim() called on a set with no occupied ways")
+
+    def on_invalidate(self, way: int) -> None:
+        if way in self._stack:
+            self._stack.remove(way)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: eviction order ignores re-references."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._queue: List[int] = []
+
+    def on_access(self, way: int) -> None:
+        if way not in self._queue:
+            self._queue.append(way)
+
+    def victim(self, occupied: List[bool]) -> int:
+        for way in self._queue:
+            if occupied[way]:
+                return way
+        raise RuntimeError("victim() called on a set with no occupied ways")
+
+    def on_invalidate(self, way: int) -> None:
+        if way in self._queue:
+            self._queue.remove(way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Pseudo-random replacement with a seedable generator."""
+
+    def __init__(self, ways: int, rng: Optional[random.Random] = None) -> None:
+        super().__init__(ways)
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def on_access(self, way: int) -> None:
+        pass
+
+    def victim(self, occupied: List[bool]) -> int:
+        candidates = [way for way in range(self.ways) if occupied[way]]
+        if not candidates:
+            raise RuntimeError("victim() called on a set with no occupied ways")
+        return self._rng.choice(candidates)
+
+
+def make_policy(name: str, ways: int,
+                rng: Optional[random.Random] = None) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``fifo``/``random``)."""
+    if name == "lru":
+        return LruPolicy(ways)
+    if name == "fifo":
+        return FifoPolicy(ways)
+    if name == "random":
+        return RandomPolicy(ways, rng)
+    raise ValueError(f"unknown replacement policy {name!r}")

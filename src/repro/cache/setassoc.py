@@ -1,0 +1,152 @@
+"""Functional set-associative cache simulator.
+
+The simulator tracks residency only (no data): the attacker's channel is
+"which lines are in the cache", and the victim's influence on it is
+fully determined by its address stream.  This is the same abstraction
+the paper uses for its "clean data" RTL experiments — timing is handled
+separately by :mod:`repro.soc`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .geometry import CacheGeometry
+from .policies import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/flush counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A residency-only set-associative cache with pluggable replacement.
+
+    Addresses are byte addresses; lines are identified by
+    ``address // line_bytes`` and mapped to sets by modulo indexing, as
+    in :class:`~repro.cache.geometry.CacheGeometry`.
+    """
+
+    def __init__(self, geometry: CacheGeometry = CacheGeometry(),
+                 policy: str = "lru",
+                 rng: Optional[random.Random] = None) -> None:
+        self.geometry = geometry
+        self.policy_name = policy
+        self.stats = CacheStats()
+        self._sets: List[Dict[int, int]] = [
+            {} for _ in range(geometry.num_sets)
+        ]  # tag -> way
+        self._occupied: List[List[bool]] = [
+            [False] * geometry.ways for _ in range(geometry.num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, geometry.ways, rng)
+            for _ in range(geometry.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Load ``address``; return ``True`` on hit, filling on miss."""
+        set_index = self.geometry.set_of(address)
+        tag = self.geometry.tag_of(address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            self.stats.hits += 1
+            self._policies[set_index].on_access(ways[tag])
+            return True
+
+        self.stats.misses += 1
+        occupied = self._occupied[set_index]
+        if all(occupied):
+            victim_way = self._policies[set_index].victim(occupied)
+            victim_tag = next(
+                t for t, w in ways.items() if w == victim_way
+            )
+            del ways[victim_tag]
+            self.stats.evictions += 1
+        else:
+            victim_way = occupied.index(False)
+        ways[tag] = victim_way
+        occupied[victim_way] = True
+        self._policies[set_index].on_access(victim_way)
+        return False
+
+    def is_resident(self, address: int) -> bool:
+        """Non-perturbing residency check (simulator-only observability).
+
+        A real attacker cannot peek without touching the cache; the probe
+        strategies in :mod:`repro.core.probe` decide whether to use this
+        (idealised) or :meth:`access` (Flush+Reload's perturbing reload).
+        """
+        set_index = self.geometry.set_of(address)
+        tag = self.geometry.tag_of(address)
+        return tag in self._sets[set_index]
+
+    def flush_line(self, address: int) -> bool:
+        """Invalidate the line holding ``address``; return whether present."""
+        set_index = self.geometry.set_of(address)
+        tag = self.geometry.tag_of(address)
+        ways = self._sets[set_index]
+        self.stats.flushes += 1
+        if tag not in ways:
+            return False
+        way = ways.pop(tag)
+        self._occupied[set_index][way] = False
+        self._policies[set_index].on_invalidate(way)
+        return True
+
+    def flush_all(self) -> None:
+        """Invalidate the entire cache (the paper's optional flush step)."""
+        self.stats.flushes += 1
+        for set_index in range(self.geometry.num_sets):
+            for way in list(self._sets[set_index].values()):
+                self._policies[set_index].on_invalidate(way)
+            self._sets[set_index].clear()
+            self._occupied[set_index] = [False] * self.geometry.ways
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def resident_lines(self) -> List[int]:
+        """Line numbers of every resident line (sorted)."""
+        lines = []
+        for set_index, ways in enumerate(self._sets):
+            for tag in ways:
+                lines.append(tag * self.geometry.num_sets + set_index)
+        return sorted(lines)
+
+    def resident_count(self) -> int:
+        """Number of resident lines."""
+        return sum(len(ways) for ways in self._sets)
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of resident lines in one set."""
+        if not 0 <= set_index < self.geometry.num_sets:
+            raise ValueError(
+                f"set index must be in [0, {self.geometry.num_sets}), "
+                f"got {set_index}"
+            )
+        return len(self._sets[set_index])
+
+    def replay(self, addresses) -> int:
+        """Access a sequence of addresses; return the number of hits."""
+        return sum(1 for address in addresses if self.access(address))

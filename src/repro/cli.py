@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the headline attack and every experiment harness:
+
+.. code-block:: console
+
+   $ python -m repro attack --seed 7
+   $ python -m repro attack --width 128 --line-words 2
+   $ python -m repro figure3
+   $ python -m repro table1 --full
+   $ python -m repro table2
+   $ python -m repro countermeasures
+   $ python -m repro theory --line-words 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    expected_first_round_effort,
+    flush_advantage,
+    growth_factor_per_round,
+    practical_probing_round_limit,
+    render_figure3,
+    render_table1,
+    render_table2,
+    run_figure3,
+    run_table1,
+    run_table2,
+)
+from .cache.geometry import CacheGeometry
+from .core import AttackConfig, GrinchAttack
+from .countermeasures import (
+    evaluate_hardened_schedule,
+    evaluate_reshaped_sbox,
+)
+from .gift.lut import TracedGift64, TracedGift128
+
+#: Monte-Carlo budget per cell in quick (default) mode.
+QUICK_EFFORT = 20_000.0
+#: Monte-Carlo budget with ``--full`` (the paper's drop-out threshold).
+FULL_EFFORT = 1_500_000.0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRINCH cache attack against GIFT — reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    attack = commands.add_parser(
+        "attack", help="run a full GRINCH key recovery"
+    )
+    attack.add_argument("--key", type=lambda v: int(v, 16), default=None,
+                        help="victim master key (hex; default: random)")
+    attack.add_argument("--width", type=int, choices=(64, 128), default=64,
+                        help="GIFT variant (default: 64)")
+    attack.add_argument("--seed", type=int, default=0,
+                        help="attacker RNG seed")
+    attack.add_argument("--line-words", type=int, choices=(1, 2, 4, 8),
+                        default=1, help="cache line size in words")
+    attack.add_argument("--probing-round", type=int, default=1,
+                        help="round at which the probe lands (>= 1)")
+    attack.add_argument("--no-flush", action="store_true",
+                        help="disable the mid-encryption flush")
+    attack.add_argument("--probe", choices=("flush_reload", "prime_probe"),
+                        default="flush_reload", help="probing primitive")
+
+    for name, help_text in (
+        ("figure3", "regenerate Fig. 3 (effort vs. probing round)"),
+        ("table1", "regenerate Table I (effort vs. cache line size)"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("--full", action="store_true",
+                         help="simulate every cell (slow)")
+        sub.add_argument("--runs", type=int, default=2,
+                         help="Monte-Carlo repetitions per cell")
+
+    commands.add_parser(
+        "table2", help="regenerate Table II (platform probing rounds)"
+    )
+    cm = commands.add_parser(
+        "countermeasures", help="evaluate the Section IV-C protections"
+    )
+    cm.add_argument("--seed", type=int, default=0)
+
+    theory = commands.add_parser(
+        "theory", help="analytic effort model for one configuration"
+    )
+    theory.add_argument("--line-words", type=int, choices=(1, 2, 4, 8),
+                        default=1)
+    theory.add_argument("--no-flush", action="store_true")
+    return parser
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    key = args.key
+    if key is None:
+        key = random.Random(args.seed ^ 0xA77AC4).getrandbits(128)
+    victim_cls = TracedGift64 if args.width == 64 else TracedGift128
+    victim = victim_cls(key)
+    config = AttackConfig(
+        geometry=CacheGeometry(line_words=args.line_words),
+        probing_round=args.probing_round,
+        use_flush=not args.no_flush,
+        probe_strategy=args.probe,
+        stall_window=200 if args.probe == "prime_probe" else 0,
+        seed=args.seed,
+        max_total_encryptions=None,
+    )
+    print(f"victim: GIFT-{args.width}, key {key:032x}")
+    result = GrinchAttack(victim, config).recover_master_key()
+    print(f"recovered: {result.master_key:032x} "
+          f"({'MATCH' if result.master_key == key else 'MISMATCH'})")
+    print(f"victim encryptions: {result.total_encryptions}")
+    for round_index, count in result.encryptions_by_round.items():
+        print(f"  round {round_index}: {count}")
+    return 0 if result.master_key == key else 1
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    budget = FULL_EFFORT if args.full else QUICK_EFFORT
+    print(render_figure3(run_figure3(runs=args.runs,
+                                     max_simulated_effort=budget)))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    budget = FULL_EFFORT if args.full else QUICK_EFFORT
+    print(render_table1(run_table1(runs=args.runs,
+                                   max_simulated_effort=budget)))
+    return 0
+
+
+def _cmd_table2(_: argparse.Namespace) -> int:
+    print(render_table2(run_table2()))
+    return 0
+
+
+def _cmd_countermeasures(args: argparse.Namespace) -> int:
+    key = random.Random(args.seed ^ 0xC0DE).getrandbits(128)
+    for report in (evaluate_reshaped_sbox(key, seed=args.seed),
+                   evaluate_hardened_schedule(key, seed=args.seed)):
+        verdict = "defeated" if report.attack_defeated else "NOT defeated"
+        leak = ("channel closed" if not report.protected_leakage.leaks
+                else "channel still open")
+        print(f"{report.name}: GRINCH {verdict} "
+              f"({report.failure_mode or 'key recovered'}), {leak}")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    use_flush = not args.no_flush
+    print(f"analytic model, {args.line_words}-word lines, "
+          f"{'with' if use_flush else 'without'} flush")
+    for probing_round in range(1, 9):
+        effort = expected_first_round_effort(
+            args.line_words, probing_round, use_flush
+        )
+        marker = "" if effort <= 1_000_000 else "   <- drop-out (>1M)"
+        print(f"  probing round {probing_round}: {effort:>14,.0f}{marker}")
+    print(f"growth per round: x{growth_factor_per_round(args.line_words):.2f}")
+    print(f"no-flush penalty: x{flush_advantage(2, args.line_words):.2f}")
+    limit = practical_probing_round_limit(args.line_words, use_flush)
+    print(f"practical limit : probing round {limit if limit else 'none'}")
+    return 0
+
+
+_HANDLERS = {
+    "attack": _cmd_attack,
+    "figure3": _cmd_figure3,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "countermeasures": _cmd_countermeasures,
+    "theory": _cmd_theory,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

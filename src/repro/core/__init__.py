@@ -1,0 +1,85 @@
+"""GRINCH: the paper's core contribution — an access-driven cache attack
+on table-based GIFT implementations.
+
+Typical use::
+
+    from repro.core import AttackConfig, GrinchAttack
+    from repro.gift import TracedGift64
+
+    victim = TracedGift64(master_key=secret)
+    result = GrinchAttack(victim, AttackConfig(seed=1)).recover_master_key()
+    assert result.master_key == secret
+"""
+
+from .attack import FULL_KEY_ROUNDS, GrinchAttack, recover_full_key
+from .config import PROBE_STRATEGIES, AttackConfig
+from .crafting import PlaintextCrafter, build_target_round_input, invert_rounds
+from .crosscore import CrossCoreRunner, make_cross_core_runner
+from .eliminate import CandidateEliminator
+from .errors import (
+    AttackError,
+    BudgetExceeded,
+    InconsistentObservation,
+    KeyVerificationFailed,
+)
+from .monitor import SboxMonitor
+from .noise import NO_NOISE, NoiseModel
+from .probe import FlushReload, PrimeProbe, ProbeStrategy, make_probe
+from .profile import PROFILE_64, PROFILE_128, GiftAttackProfile, profile_for_width
+from .recover import (
+    KeyBitPair,
+    expected_index,
+    indices_consistent_with_prediction,
+    key_pairs_from_line,
+)
+from .results import (
+    AttackResult,
+    FirstRoundResult,
+    RoundAttackOutcome,
+    RoundKeyEstimate,
+    SegmentOutcome,
+)
+from .runner import CacheAttackRunner
+from .target_bits import SourceBit, TargetSpec, set_target_bits
+
+__all__ = [
+    "FULL_KEY_ROUNDS",
+    "GrinchAttack",
+    "recover_full_key",
+    "PROBE_STRATEGIES",
+    "AttackConfig",
+    "PlaintextCrafter",
+    "build_target_round_input",
+    "invert_rounds",
+    "CrossCoreRunner",
+    "make_cross_core_runner",
+    "CandidateEliminator",
+    "AttackError",
+    "BudgetExceeded",
+    "InconsistentObservation",
+    "KeyVerificationFailed",
+    "SboxMonitor",
+    "NO_NOISE",
+    "NoiseModel",
+    "FlushReload",
+    "PrimeProbe",
+    "ProbeStrategy",
+    "make_probe",
+    "PROFILE_64",
+    "PROFILE_128",
+    "GiftAttackProfile",
+    "profile_for_width",
+    "KeyBitPair",
+    "expected_index",
+    "indices_consistent_with_prediction",
+    "key_pairs_from_line",
+    "AttackResult",
+    "FirstRoundResult",
+    "RoundAttackOutcome",
+    "RoundKeyEstimate",
+    "SegmentOutcome",
+    "CacheAttackRunner",
+    "SourceBit",
+    "TargetSpec",
+    "set_target_bits",
+]

@@ -1,0 +1,485 @@
+"""The GRINCH attack orchestrator (Section III-C, Steps 1-5).
+
+Per attacked round ``t`` and segment ``s`` the attack loop is:
+
+1. *Generate Plaintext + Encrypt* — :class:`PlaintextCrafter` pins the
+   round-``t + 1`` S-box input of segment ``s`` (Algorithms 1 & 2, plus
+   the Step-5 inversion through already-broken rounds).
+2. *Probe the Cache* — :class:`CacheAttackRunner` returns the monitored
+   lines the probe saw.
+3. *Eliminate Candidates* — :class:`CandidateEliminator` intersects
+   observations until one line survives.
+4. *Reverse Engineer Key-Bits* — :func:`key_pairs_from_line` inverts the
+   forced bits into round-key bit candidates.
+5. *Update Plaintext Generation* — the recovered bits feed the next
+   round's crafting; after four rounds (two for GIFT-128) the 128-bit
+   master key is assembled and verified against one known
+   plaintext/ciphertext pair.
+
+With cache lines wider than one S-box entry the low index bits are
+unobservable, leaving up to four candidates per segment (Section III-D).
+The orchestrator carries those candidates forward as *hypotheses*: a
+wrong hypothesis makes the forced bits vary, so its elimination run ends
+in a contradiction (empty intersection) or an index inconsistent with
+the predicted key-free bits, and the next hypothesis is tried.
+Last-round ambiguities are resolved by an extra *verification stage*
+(round 5 for GIFT-64, round 3 for GIFT-128) whose own key bits are
+already determined by the recovered round-1 key through the GIFT key
+schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..gift.cipher import GiftCipher
+from ..gift.lut import TracedGiftCipher
+from .config import AttackConfig
+from .crafting import PlaintextCrafter
+from .eliminate import CandidateEliminator
+from .errors import (
+    BudgetExceeded,
+    InconsistentObservation,
+    KeyVerificationFailed,
+)
+from .recover import (
+    KeyBitPair,
+    expected_index,
+    key_pairs_from_line,
+)
+from .results import (
+    AttackResult,
+    FirstRoundResult,
+    RoundAttackOutcome,
+    RoundKeyEstimate,
+    SegmentOutcome,
+)
+from .profile import profile_for_width
+from .runner import CacheAttackRunner
+from .target_bits import TargetSpec, set_target_bits
+
+#: Number of attacked rounds needed for the full GIFT-64 key
+#: (GIFT-128 needs only 2; see :mod:`repro.core.profile`).
+FULL_KEY_ROUNDS = 4
+
+
+class GrinchAttack:
+    """A GRINCH attack bound to one victim instance and configuration.
+
+    The attacker's interface to the victim is strictly the access-driven
+    channel of :class:`CacheAttackRunner` plus one known pair for final
+    verification; the victim's key is never read by the attack logic
+    (the test suite plants random keys and checks exact recovery).
+    """
+
+    def __init__(self, victim: TracedGiftCipher,
+                 config: Optional[AttackConfig] = None,
+                 runner=None) -> None:
+        self.config = config if config is not None else AttackConfig()
+        if victim.layout != self.config.layout:
+            raise ValueError(
+                "victim table layout differs from the attack configuration"
+            )
+        self.profile = profile_for_width(victim.width)
+        # ``runner`` lets alternative observation substrates plug in —
+        # e.g. the cross-core shared-L2 runner of repro.core.crosscore.
+        self.runner = (runner if runner is not None
+                       else CacheAttackRunner(victim, self.config))
+        self.monitor = self.runner.monitor
+        self.rng = random.Random(self.config.seed)
+        self.total_encryptions = 0
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def attack_first_round(self) -> FirstRoundResult:
+        """Recover (up to line ambiguity) the round-1 key bits.
+
+        This is the experiment unit of Fig. 3 and Table I ("required
+        encryptions to attack the first round"): 32 bits for GIFT-64,
+        64 bits for GIFT-128.
+        """
+        start = self.total_encryptions
+        outcome = self.attack_round(1, [], None)
+        encryptions = self.total_encryptions - start
+        ambiguity = outcome.estimate.ambiguity
+        recovered = self.profile.bits_per_round - _log2(ambiguity)
+        return FirstRoundResult(
+            outcome=outcome,
+            encryptions=encryptions,
+            recovered_bits=recovered,
+        )
+
+    def recover_master_key(self) -> AttackResult:
+        """Run the full multi-round GRINCH attack and verify the key."""
+        resolved: List[Tuple[int, int]] = []
+        previous: Optional[RoundKeyEstimate] = None
+        rounds: List[RoundAttackOutcome] = []
+
+        for round_index in range(1, self.profile.full_key_rounds + 1):
+            outcome = self.attack_round(round_index, resolved, previous)
+            if previous is not None:
+                # The source cones of this round's targets cover every
+                # segment, so the consistency tests pinned the previous
+                # round.
+                resolved.append(previous.as_round_key())
+            previous = outcome.estimate
+            rounds.append(outcome)
+
+        verification_start = self.total_encryptions
+        if not previous.resolved:
+            self._verification_stage(resolved, previous)
+        resolved.append(previous.as_round_key())
+        verification_encryptions = self.total_encryptions - verification_start
+
+        master_key = self.profile.assemble_master_key(resolved)
+        verified = self._verify_master_key(master_key)
+        if not verified:
+            raise KeyVerificationFailed(
+                "assembled master key failed the known-pair check; "
+                "an accepted hypothesis was a false positive"
+            )
+        return AttackResult(
+            master_key=master_key,
+            total_encryptions=self.total_encryptions,
+            rounds=rounds,
+            verified=True,
+            verification_encryptions=verification_encryptions,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage machinery
+    # ------------------------------------------------------------------
+
+    def attack_round(self, round_index: int,
+                     prior_keys: List[Tuple[int, int]],
+                     prior_estimate: Optional[RoundKeyEstimate]
+                     ) -> RoundAttackOutcome:
+        """Attack every segment of one round's AddRoundKey.
+
+        ``prior_keys`` are the fully resolved keys of rounds
+        ``1 .. round_index - 2``; ``prior_estimate`` is the (possibly
+        ambiguous) estimate of round ``round_index - 1`` and is resolved
+        in place by the consistency tests.
+        """
+        self._check_prior(round_index, prior_keys, prior_estimate)
+        segments: List[SegmentOutcome] = []
+        candidates: List[Tuple[KeyBitPair, ...]] = []
+        for segment in range(self.profile.segments):
+            spec = set_target_bits(round_index, segment,
+                                   width=self.profile.width)
+            outcome = self._attack_segment(spec, prior_keys, prior_estimate)
+            segments.append(outcome)
+            candidates.append(outcome.key_pairs)
+        return RoundAttackOutcome(
+            round_index=round_index,
+            segments=segments,
+            estimate=RoundKeyEstimate(
+                round_index=round_index, pair_candidates=candidates
+            ),
+        )
+
+    def _attack_segment(self, spec: TargetSpec,
+                        prior_keys: List[Tuple[int, int]],
+                        prior_estimate: Optional[RoundKeyEstimate],
+                        expected_line: Optional[int] = None
+                        ) -> SegmentOutcome:
+        """Steps 1-4 for one target, with hypothesis enumeration.
+
+        Hypotheses about previous-round key bits are enumerated only for
+        the *visible* source segments — those whose forced bit lands on
+        a target index bit the line observation can resolve.  (GIFT's
+        permutation preserves bit offsets modulo 4, so a source's output
+        bit ``b`` always feeds target index bit ``b``; with ``L``-entry
+        cache lines bits below ``log2(L)`` are unobservable and a wrong
+        guess there cannot be detected — nor can it disturb anything the
+        attacker sees.)  All surviving hypotheses are collected, and a
+        previous-round segment is only pinned when every survivor agrees
+        on it; disagreement narrows its candidate set instead.
+
+        ``expected_line`` switches the acceptance test to an exact match
+        (used by the verification stage, where the target's own key bits
+        are already known).
+        """
+        hypotheses = self._hypotheses_for(spec, prior_estimate)
+        # With a unique hypothesis the target access is constant by
+        # construction, so first convergence is final; with several, a
+        # wrong one can pass through a single candidate transiently and
+        # must survive a confirmation margin before it may be kept.
+        confirmation = (self._confirmation_margin(spec.round_index)
+                        if len(hypotheses) > 1 else 0)
+        start = self.total_encryptions
+        survivors: List[Tuple[Dict[int, KeyBitPair], int,
+                              Tuple[KeyBitPair, ...]]] = []
+        for hypothesis in hypotheses:
+            accepted = self._run_elimination(
+                spec, prior_keys, prior_estimate, hypothesis, expected_line,
+                confirmation
+            )
+            if accepted is not None:
+                survivors.append((hypothesis, accepted[0], accepted[1]))
+
+        if not survivors:
+            raise InconsistentObservation(
+                f"round {spec.round_index} segment {spec.segment}: every "
+                f"hypothesis was contradicted by the cache observations"
+            )
+
+        resolved_hypothesis = self._narrow_prior(prior_estimate, survivors)
+        key_pairs = tuple(sorted({
+            pair for _, _, pairs in survivors for pair in pairs
+        }))
+        return SegmentOutcome(
+            round_index=spec.round_index,
+            segment=spec.segment,
+            encryptions=self.total_encryptions - start,
+            hypotheses_tried=len(hypotheses),
+            line=survivors[0][1],
+            key_pairs=key_pairs,
+            resolved_hypothesis=resolved_hypothesis,
+        )
+
+    @staticmethod
+    def _narrow_prior(prior_estimate: Optional[RoundKeyEstimate],
+                      survivors: List[Tuple[Dict[int, KeyBitPair], int,
+                                            Tuple[KeyBitPair, ...]]]
+                      ) -> Dict[int, KeyBitPair]:
+        """Narrow previous-round candidates to the surviving hypotheses."""
+        resolved: Dict[int, KeyBitPair] = {}
+        if prior_estimate is None:
+            return resolved
+        for segment in survivors[0][0]:
+            surviving_pairs = tuple(sorted({
+                hypothesis[segment] for hypothesis, _, _ in survivors
+            }))
+            prior_estimate.narrow_segment(segment, surviving_pairs)
+            if len(surviving_pairs) == 1:
+                resolved[segment] = surviving_pairs[0]
+        return resolved
+
+    def _run_elimination(self, spec: TargetSpec,
+                         prior_keys: List[Tuple[int, int]],
+                         prior_estimate: Optional[RoundKeyEstimate],
+                         hypothesis: Dict[int, KeyBitPair],
+                         expected_line: Optional[int],
+                         confirmation: int = 0
+                         ) -> Optional[Tuple[int, Tuple[KeyBitPair, ...]]]:
+        """One elimination run under one hypothesis.
+
+        Returns ``(line, key_pairs)`` on acceptance, ``None`` on
+        contradiction/rejection; raises on exhausted budgets.
+        """
+        full_prior = list(prior_keys)
+        if prior_estimate is not None:
+            full_prior.append(prior_estimate.guess_round_key(hypothesis))
+        crafter = PlaintextCrafter(spec, full_prior, self.rng)
+        eliminator = CandidateEliminator(self.monitor.universe)
+
+        confirmations_left = confirmation
+        stall_window = self.config.stall_window
+        previous_candidates = eliminator.candidates
+        stalled_for = 0
+        for _ in range(self.config.max_encryptions_per_segment):
+            self._charge_encryption()
+            observed = self.runner.observe_encryption(
+                crafter.craft(), spec.round_index
+            )
+            eliminator.update(observed)
+            if eliminator.contradicted:
+                return None
+            if eliminator.candidates == previous_candidates:
+                stalled_for += 1
+            else:
+                stalled_for = 0
+                previous_candidates = eliminator.candidates
+            if eliminator.converged:
+                if confirmations_left > 0:
+                    confirmations_left -= 1
+                    continue
+                return self._accept_lines(
+                    spec, eliminator.candidates, expected_line
+                )
+            if (stall_window and stalled_for >= stall_window
+                    and len(eliminator.candidates) <= 4):
+                # Persistent interference (e.g. Prime+Probe set conflicts
+                # with the PermBits table) keeps some lines hot forever;
+                # accept the stalled set and carry its ambiguity forward
+                # like the wide-line case of Section III-D.
+                return self._accept_lines(
+                    spec, eliminator.candidates, expected_line
+                )
+        raise BudgetExceeded(
+            f"round {spec.round_index} segment {spec.segment} did not "
+            f"converge within {self.config.max_encryptions_per_segment} "
+            f"encryptions",
+            encryptions=self.total_encryptions,
+        )
+
+    def _accept_lines(self, spec: TargetSpec, lines,
+                      expected_line: Optional[int]
+                      ) -> Optional[Tuple[int, Tuple[KeyBitPair, ...]]]:
+        """Turn a converged (or stalled) line set into an acceptance.
+
+        In verification mode the known expected line must be among the
+        survivors; otherwise the key-pair candidates of all surviving
+        lines are pooled after the predicted-high-bits filter.
+        """
+        ordered = sorted(lines)
+        if expected_line is not None:
+            if expected_line not in lines:
+                return None
+            return expected_line, ()
+        pairs = tuple(sorted({
+            pair
+            for line in ordered
+            for pair in key_pairs_from_line(spec, self.monitor, line)
+        }))
+        if not pairs:
+            return None  # inconsistent with predicted high bits
+        return ordered[0], pairs
+
+    def _verification_stage(self, resolved: List[Tuple[int, int]],
+                            estimate: RoundKeyEstimate) -> None:
+        """Resolve last-round ambiguities using the verification round.
+
+        The verification round's key bits are derived from the (already
+        recovered) round-1 key by the GIFT key schedule (round 5 for
+        GIFT-64, round 3 for GIFT-128), so the attacker can predict the
+        exact target index — converged lines either match the
+        prediction or kill the hypothesis.
+        """
+        verification_round = self.profile.verification_round
+        for segment in range(self.profile.segments):
+            if estimate.resolved:
+                return
+            spec = set_target_bits(verification_round, segment,
+                                   width=self.profile.width)
+            if len(self._hypotheses_for(spec, estimate)) <= 1:
+                continue  # nothing left to learn from this target
+            u, v = self._verification_round_key(resolved, estimate)
+            v_bit = (v >> segment) & 1
+            u_bit = (u >> segment) & 1
+            line = self.monitor.line_for_index(
+                expected_index(spec, v_bit, u_bit)
+            )
+            self._attack_segment(
+                spec, resolved, estimate, expected_line=line
+            )
+        if not estimate.resolved:
+            raise InconsistentObservation(
+                "verification stage left last-round candidates unresolved"
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _hypotheses_for(self, spec: TargetSpec,
+                        prior_estimate: Optional[RoundKeyEstimate]
+                        ) -> List[Dict[int, KeyBitPair]]:
+        if prior_estimate is None:
+            return [{}]
+        shift = _log2(self.monitor.indices_per_line)
+        cone = tuple(sorted({
+            source.source_segment
+            for source in spec.sources
+            if source.target_position % 4 >= shift
+        }))
+        choice_lists = [prior_estimate.pair_candidates[s] for s in cone]
+        return [
+            dict(zip(cone, combination))
+            for combination in itertools.product(*choice_lists)
+        ]
+
+    def _confirmation_margin(self, attacked_round: int) -> int:
+        """Post-convergence encryptions required before accepting a
+        hypothesis.
+
+        A wrong hypothesis leaves one spuriously "stable" line whose
+        per-encryption absence probability is roughly
+        ``(1 - 1/lines) * ((lines - 1) / lines) ** accesses`` — the
+        varying target must miss it and so must every other S-box access
+        in the visible window (``segments`` per visible round; without
+        the flush, rounds ``1..attacked_round`` stay visible too).
+        Sizing the margin to ``confirmation_factor`` expected absence
+        events drives the false-accept probability to about
+        ``exp(-factor)``.
+        """
+        if self.config.confirmation_margin is not None:
+            return self.config.confirmation_margin
+        lines = len(self.monitor.lines)
+        if lines <= 1:
+            return 0
+        visible_rounds = self.config.probing_round
+        mid_flush = getattr(
+            self.runner, "mid_flush_supported",
+            getattr(getattr(self.runner, "probe", None),
+                    "supports_mid_flush", False),
+        )
+        if not (self.config.use_flush and mid_flush):
+            visible_rounds += attacked_round
+        other = (lines - 1) / lines
+        accesses = self.profile.segments * visible_rounds - 1
+        p_absent = other * other ** accesses
+        return math.ceil(self.config.confirmation_factor / p_absent)
+
+    def _verification_round_key(self, resolved: List[Tuple[int, int]],
+                                estimate: RoundKeyEstimate
+                                ) -> Tuple[int, int]:
+        # The verification round's key depends only on round 1's words,
+        # which are fully resolved by the time this stage runs.
+        first = resolved[0] if resolved else estimate.as_round_key()
+        return self.profile.verification_key(first)
+
+    def _charge_encryption(self) -> None:
+        budget = self.config.max_total_encryptions
+        if budget is not None and self.total_encryptions >= budget:
+            raise BudgetExceeded(
+                f"total encryption budget of {budget} exhausted",
+                encryptions=self.total_encryptions,
+            )
+        self.total_encryptions += 1
+
+    def _verify_master_key(self, master_key: int) -> bool:
+        victim = self.runner.victim
+        plaintext = self.rng.getrandbits(self.profile.width)
+        expected = self.runner.known_pair(plaintext)
+        reference = GiftCipher(master_key, self.profile.width,
+                               victim.rounds)
+        return reference.encrypt(plaintext) == expected
+
+    @staticmethod
+    def _check_prior(round_index: int,
+                     prior_keys: List[Tuple[int, int]],
+                     prior_estimate: Optional[RoundKeyEstimate]) -> None:
+        expected_resolved = max(0, round_index - 2)
+        if len(prior_keys) != expected_resolved:
+            raise ValueError(
+                f"round {round_index} needs {expected_resolved} resolved "
+                f"prior keys, got {len(prior_keys)}"
+            )
+        if round_index >= 2 and prior_estimate is None:
+            raise ValueError(
+                f"round {round_index} needs the round-{round_index - 1} "
+                f"estimate"
+            )
+        if round_index == 1 and prior_estimate is not None:
+            raise ValueError("round 1 takes no prior estimate")
+
+
+def _log2(value: int) -> int:
+    bits = 0
+    while value > 1:
+        value >>= 1
+        bits += 1
+    return bits
+
+
+def recover_full_key(victim: TracedGiftCipher,
+                     config: Optional[AttackConfig] = None) -> AttackResult:
+    """Convenience wrapper: run a complete GRINCH key recovery."""
+    return GrinchAttack(victim, config).recover_master_key()

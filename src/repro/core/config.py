@@ -1,0 +1,126 @@
+"""Attack configuration.
+
+One :class:`AttackConfig` captures everything the GRINCH experiments
+sweep: cache geometry (Table I), the probing round and the mid-run flush
+(Fig. 3), the probing primitive (Section III-C, step 2), and the
+simulation budgets that realise the paper's ">1M encryptions" drop-out
+rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cache.geometry import CacheGeometry
+from ..gift.lut import TableLayout
+from .noise import NO_NOISE, NoiseModel
+
+#: Probe primitive names accepted by :class:`AttackConfig`.
+PROBE_STRATEGIES = ("flush_reload", "prime_probe")
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Parameters of one GRINCH attack run.
+
+    Attributes
+    ----------
+    geometry:
+        Shared-L1 shape; ``geometry.line_words`` is Table I's sweep axis.
+    layout:
+        Victim table placement in memory.
+    probing_round:
+        How many rounds of victim activity accumulate in the cache before
+        the attacker can probe (Fig. 3's x-axis).  Probing round ``r``
+        while attacking round ``t`` means the observation happens after
+        round ``t + r`` completes.
+    use_flush:
+        Whether the attacker flushes the monitored lines right after
+        round ``t`` (the paper's "Grinch with Flush" series).  Without
+        it, rounds ``1..t`` contribute "dirty" accesses.
+    probe_strategy:
+        ``"flush_reload"`` (paper's choice) or ``"prime_probe"``.
+    max_encryptions_per_segment:
+        Per-segment convergence budget; exceeding it raises
+        :class:`~repro.core.errors.BudgetExceeded`.
+    max_total_encryptions:
+        Optional whole-attack budget (Table I's 1M drop-out).
+    confirmation_margin:
+        Extra encryptions run after an elimination reaches a single
+        candidate *while testing ambiguous hypotheses*.  A wrong
+        hypothesis makes the target access vary, so its intersection
+        only passes through size one transiently; the margin lets it
+        fall to empty before the hypothesis is accepted.  ``None``
+        (default) sizes the margin from the analytic line-absence
+        probability so the false-accept chance per hypothesis is about
+        ``exp(-confirmation_factor)``.  Unambiguous runs (1-word lines,
+        i.e. all of Fig. 3 / Table I row one) skip the margin, matching
+        the paper's effort accounting.
+    confirmation_factor:
+        Safety factor for the automatic margin (see above).
+    stall_window:
+        When positive, an elimination whose candidate set has been
+        *unchanged* for this many consecutive observations while still
+        holding 2-4 lines is accepted as stalled: the surviving lines'
+        key-pair candidates are carried forward like the wide-cache-line
+        ambiguity of Section III-D.  Needed for Prime+Probe, whose
+        set-granular view suffers persistent false positives from the
+        PermBits table (the reason the paper prefers Flush+Reload);
+        ``0`` (default) disables stall acceptance.
+    seed:
+        Seed for the attacker's RNG (plaintext crafting choices).
+    noise:
+        Co-running process noise injected into each probe window.
+    use_fast_path:
+        Allow the accelerated observation path when it is provably
+        equivalent to the full cache simulation (Flush+Reload with
+        non-colliding tables); automatically ignored otherwise.
+    """
+
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    layout: TableLayout = field(default_factory=TableLayout)
+    probing_round: int = 1
+    use_flush: bool = True
+    probe_strategy: str = "flush_reload"
+    max_encryptions_per_segment: int = 100_000
+    max_total_encryptions: Optional[int] = 1_000_000
+    confirmation_margin: Optional[int] = None
+    confirmation_factor: float = 8.0
+    stall_window: int = 0
+    seed: Optional[int] = None
+    noise: NoiseModel = NO_NOISE
+    use_fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        if self.probing_round < 1:
+            raise ValueError(
+                f"probing_round must be >= 1, got {self.probing_round}"
+            )
+        if self.probe_strategy not in PROBE_STRATEGIES:
+            raise ValueError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}, "
+                f"got {self.probe_strategy!r}"
+            )
+        if self.max_encryptions_per_segment < 1:
+            raise ValueError("max_encryptions_per_segment must be positive")
+        if (self.max_total_encryptions is not None
+                and self.max_total_encryptions < 1):
+            raise ValueError("max_total_encryptions must be positive or None")
+        if self.confirmation_margin is not None and self.confirmation_margin < 0:
+            raise ValueError("confirmation_margin must be non-negative")
+        if self.confirmation_factor <= 0:
+            raise ValueError("confirmation_factor must be positive")
+        if self.stall_window < 0:
+            raise ValueError("stall_window must be non-negative")
+
+    @property
+    def fast_path_applicable(self) -> bool:
+        """Whether the accelerated observation path preserves semantics.
+
+        The fast path skips the LRU machinery; that is exact only for
+        Flush+Reload (line-granular, no set conflicts with other tables)
+        — Prime+Probe observes at set granularity where the PermBits
+        table interferes, so it must run on the full simulator.
+        """
+        return self.use_fast_path and self.probe_strategy == "flush_reload"

@@ -1,0 +1,105 @@
+"""Algorithm 2 of the GRINCH paper: crafted plaintext generation.
+
+For a round-1 target, the crafted plaintext *is* the constrained
+round-1 input: the four source segments are drawn from their valid-input
+lists (forcing the four target bits after SubCells/PermBits), every
+other segment is random — exactly Algorithm 2, extended to four pinned
+segments per Section III-C.
+
+For deeper targets (Step 5, "Update Plaintext Generation") the attacker
+builds the desired round-``t`` *input* the same way and then inverts
+rounds ``t-1 .. 1`` using the round keys recovered so far:
+
+    input_r = S⁻¹(P⁻¹(input_{r+1} XOR RK_r XOR C_r))
+
+A wrong guess for a round key shows up as a constant XOR error on the
+achieved round-``t`` input; errors outside the four pinned segments land
+in positions that were random anyway, which is why hypothesis testing
+only needs to enumerate the candidates of the four source segments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..gift.cipher import round_key_mask, sub_cells
+from ..gift.constants import constant_mask
+from ..gift.permutation import inverse_permutation_for_width, permute
+from .target_bits import TargetSpec
+
+
+def build_target_round_input(spec: TargetSpec, rng: random.Random) -> int:
+    """Draw one constrained round-``t`` input for ``spec``.
+
+    The four source segments take a random element of their valid-input
+    list; the remaining segments take uniform random nibbles (Algorithm 2
+    lines 3-10).
+    """
+    segments = spec.width // 4
+    state = 0
+    for segment in range(segments):
+        if segment in spec.valid_inputs:
+            nibble = rng.choice(spec.valid_inputs[segment])
+        else:
+            nibble = rng.randrange(16)
+        state |= nibble << (4 * segment)
+    return state
+
+
+def invert_rounds(state: int, round_keys: Sequence[Tuple[int, int]],
+                  width: int) -> int:
+    """Invert GIFT rounds ``len(round_keys) .. 1`` on a round-input state.
+
+    ``round_keys[r - 1]`` is the ``(U, V)`` key of round ``r``.  Given the
+    input of round ``len(round_keys) + 1``, returns the plaintext (the
+    input of round 1) that produces it under those keys.
+    """
+    inverse_perm = inverse_permutation_for_width(width)
+    for round_index in range(len(round_keys), 0, -1):
+        u, v = round_keys[round_index - 1]
+        state ^= round_key_mask(u, v, width)
+        state ^= constant_mask(round_index, width)
+        state = permute(state, inverse_perm)
+        state = sub_cells(state, width, inverse=True)
+    return state
+
+
+class PlaintextCrafter:
+    """Generates crafted plaintexts for one attack target.
+
+    Parameters
+    ----------
+    spec:
+        The target description from Algorithm 1.
+    prior_round_keys:
+        ``(U, V)`` keys of rounds ``1 .. t-1`` as known/hypothesised by
+        the attacker (empty for a round-1 target).
+    rng:
+        Attacker randomness for segment choices.
+    """
+
+    def __init__(self, spec: TargetSpec,
+                 prior_round_keys: Sequence[Tuple[int, int]],
+                 rng: random.Random) -> None:
+        if len(prior_round_keys) != spec.round_index - 1:
+            raise ValueError(
+                f"round-{spec.round_index} target needs "
+                f"{spec.round_index - 1} prior round keys, "
+                f"got {len(prior_round_keys)}"
+            )
+        self.spec = spec
+        self.prior_round_keys = list(prior_round_keys)
+        self._rng = rng
+
+    def craft(self) -> int:
+        """Return one crafted plaintext."""
+        target_input = build_target_round_input(self.spec, self._rng)
+        return invert_rounds(target_input, self.prior_round_keys,
+                             self.spec.width)
+
+    def craft_many(self, count: int) -> List[int]:
+        """Return ``count`` crafted plaintexts."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.craft() for _ in range(count)]

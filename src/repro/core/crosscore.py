@@ -1,0 +1,142 @@
+"""Cross-core attack runner: GRINCH through a shared L2.
+
+Realises the paper's future-work question ("further explore the effect
+of the memory hierarchy on the effectiveness of the attack"): the
+victim runs on core 0 behind a private L1, the attacker on core 1 can
+only sense the *shared L2* (its reloads hit there, never in the
+victim's L1) but wields a ``clflush`` that purges the whole hierarchy.
+
+Exposes the same interface as
+:class:`~repro.core.runner.CacheAttackRunner`, so
+:class:`~repro.core.attack.GrinchAttack` runs unchanged on top — only
+the observability differs:
+
+* **inclusive L2**: every victim miss fills L2 too, so after a flush
+  the first touch of each line is visible — the attack goes through.
+* **exclusive L2**: memory fills go to the victim's L1 only; a table
+  that fits in L1 never appears in L2, and the attacker sees nothing —
+  the hierarchy itself acts as a countermeasure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Optional
+
+from ..cache.multilevel import (
+    InclusionPolicy,
+    TwoLevelHierarchy,
+)
+from ..gift.lut import TracedGiftCipher
+from .config import AttackConfig
+from .monitor import SboxMonitor
+
+#: Core indices of the two parties.
+VICTIM_CORE = 0
+ATTACKER_CORE = 1
+
+
+class CrossCoreRunner:
+    """Drop-in runner whose observations go through a shared L2."""
+
+    def __init__(self, victim: TracedGiftCipher, config: AttackConfig,
+                 hierarchy: Optional[TwoLevelHierarchy] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if config.probe_strategy != "flush_reload":
+            raise ValueError(
+                "the cross-core runner models a clflush-based attacker"
+            )
+        self.victim = victim
+        self.config = config
+        self.monitor = SboxMonitor.build(victim.layout, config.geometry)
+        if hierarchy is None:
+            hierarchy = TwoLevelHierarchy()
+        if hierarchy.cores < 2:
+            raise ValueError("cross-core attacks need at least two cores")
+        if hierarchy.line_bytes != config.geometry.line_bytes:
+            raise ValueError(
+                "hierarchy line size must match the attack geometry"
+            )
+        self.hierarchy = hierarchy
+        self._monitored_addresses = self.monitor.line_addresses()
+        self._noise_rng = rng if rng is not None else random.Random(
+            None if config.seed is None else config.seed ^ 0x2C0DE
+        )
+        self.encryptions_run = 0
+
+    @property
+    def fast_path_active(self) -> bool:
+        """The hierarchy semantics require the full simulation."""
+        return False
+
+    #: clflush purges all levels, so mid-encryption flushing works.
+    mid_flush_supported = True
+
+    def observe_encryption(self, plaintext: int, attacked_round: int
+                           ) -> FrozenSet[int]:
+        """Same contract as the single-level runner, through L2."""
+        if attacked_round < 1:
+            raise ValueError(
+                f"attacked_round must be >= 1, got {attacked_round}"
+            )
+        self.encryptions_run += 1
+        visible_through = attacked_round + self.config.probing_round
+        trace = self.victim.encrypt_traced(
+            plaintext, max_rounds=visible_through
+        )
+        self._flush_monitored()
+        flushed = False
+        for access in trace.accesses:
+            if (self.config.use_flush and not flushed
+                    and access.round_index > attacked_round):
+                self._flush_monitored()
+                flushed = True
+            self.hierarchy.access(VICTIM_CORE, access.address)
+        if self.config.use_flush and not flushed:
+            self._flush_monitored()
+        for address in self.config.noise.sample(
+                self._monitored_addresses, self._noise_rng):
+            self.hierarchy.access(VICTIM_CORE, address)
+        return self._reload()
+
+    def _flush_monitored(self) -> None:
+        for address in self._monitored_addresses:
+            self.hierarchy.flush_line(address)
+
+    def _reload(self) -> FrozenSet[int]:
+        observed = set()
+        for line, address in zip(self.monitor.lines,
+                                 self._monitored_addresses):
+            # The attacker's reload can only hit in its own (flushed)
+            # L1 or the shared L2 — victim-L1 residency is invisible.
+            if self.hierarchy.is_resident_l2(address):
+                observed.add(line)
+            # Touch it from the attacker core, as a real reload would.
+            self.hierarchy.access(ATTACKER_CORE, address)
+        return frozenset(observed)
+
+    def known_pair(self, plaintext: int) -> int:
+        """One plaintext/ciphertext pair for final verification."""
+        return self.victim.encrypt(plaintext)
+
+
+def make_cross_core_runner(victim: TracedGiftCipher, config: AttackConfig,
+                           inclusion: InclusionPolicy
+                           ) -> CrossCoreRunner:
+    """Build a runner over a default two-core hierarchy.
+
+    The hierarchy's line size follows the attack geometry so Table-I
+    style sweeps stay meaningful cross-core.
+    """
+    from ..cache.geometry import CacheGeometry
+
+    line_words = config.geometry.line_words
+    hierarchy = TwoLevelHierarchy(
+        cores=2,
+        l1_geometry=CacheGeometry(total_lines=64, ways=4,
+                                  line_words=line_words),
+        l2_geometry=CacheGeometry(total_lines=1024, ways=16,
+                                  line_words=line_words),
+        inclusion=inclusion,
+    )
+    return CrossCoreRunner(victim, config, hierarchy)

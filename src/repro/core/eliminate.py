@@ -1,0 +1,61 @@
+"""Step 3 of the GRINCH methodology: candidate elimination.
+
+The crafted plaintexts guarantee the target segment touches the *same*
+S-box line in every encryption; every other monitored line is touched
+only with some probability per encryption.  Intersecting the observed
+line sets therefore converges (monotonically) onto the target line.
+An empty intersection is a *contradiction*: the premise "one line is
+always present" was violated, which happens exactly when a hypothesis
+about earlier-round key bits was wrong — the signal the multi-round
+attack uses to prune hypotheses.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+
+class CandidateEliminator:
+    """Monotone intersection of observed line sets over a fixed universe."""
+
+    def __init__(self, universe: FrozenSet[int]) -> None:
+        if not universe:
+            raise ValueError("candidate universe must not be empty")
+        self.universe = universe
+        self._candidates: Set[int] = set(universe)
+        self.updates = 0
+
+    @property
+    def candidates(self) -> FrozenSet[int]:
+        """Current surviving candidate lines."""
+        return frozenset(self._candidates)
+
+    @property
+    def converged(self) -> bool:
+        """Exactly one candidate line remains."""
+        return len(self._candidates) == 1
+
+    @property
+    def contradicted(self) -> bool:
+        """No candidate survives — some assumption was wrong."""
+        return not self._candidates
+
+    @property
+    def resolved_line(self) -> int:
+        """The unique surviving line (only valid when converged)."""
+        if not self.converged:
+            raise RuntimeError(
+                f"eliminator has {len(self._candidates)} candidates, not 1"
+            )
+        return next(iter(self._candidates))
+
+    def update(self, observed: Iterable[int]) -> FrozenSet[int]:
+        """Intersect with one observation; return the surviving set."""
+        self.updates += 1
+        self._candidates &= set(observed)
+        return self.candidates
+
+    def reset(self) -> None:
+        """Start over with the full universe."""
+        self._candidates = set(self.universe)
+        self.updates = 0

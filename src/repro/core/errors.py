@@ -1,0 +1,31 @@
+"""Exception types raised by the GRINCH attack machinery."""
+
+from __future__ import annotations
+
+
+class AttackError(Exception):
+    """Base class for attack failures."""
+
+
+class BudgetExceeded(AttackError):
+    """The configured encryption budget ran out before convergence.
+
+    Carries how many encryptions were spent so experiment harnesses can
+    report drop-outs the way the paper does (">1M" cells in Table I).
+    """
+
+    def __init__(self, message: str, encryptions: int) -> None:
+        super().__init__(message)
+        self.encryptions = encryptions
+
+
+class InconsistentObservation(AttackError):
+    """Every hypothesis was contradicted by the cache observations.
+
+    Seen when the victim is protected (countermeasures) or when the
+    attack is run against an implementation it does not model.
+    """
+
+
+class KeyVerificationFailed(AttackError):
+    """The assembled master key failed the known-pair verification."""

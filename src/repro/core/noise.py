@@ -1,0 +1,65 @@
+"""Noise models for the attacker's probe window.
+
+The paper attributes extra attack effort to "the amount of noise (e.g.,
+multiple processes disputing the processor)" (Section IV-B1).  In an
+access-driven attack, a concurrent process can only *add* lines to the
+cache between the victim's rounds and the probe — it never removes the
+target's footprint — so noise slows candidate elimination without
+corrupting it.  These models inject such spurious accesses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Spurious accesses landing in the monitored region per probe window.
+
+    Parameters
+    ----------
+    touch_probability:
+        Chance that a noisy co-running process executes at all during one
+        encryption's probe window.
+    monitored_touches:
+        How many loads that process issues into the monitored table range
+        when it runs (addresses drawn uniformly over the table).
+    """
+
+    touch_probability: float = 0.0
+    monitored_touches: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.touch_probability <= 1.0:
+            raise ValueError(
+                f"touch_probability must be in [0, 1], got {self.touch_probability}"
+            )
+        if self.monitored_touches < 0:
+            raise ValueError(
+                f"monitored_touches must be non-negative, "
+                f"got {self.monitored_touches}"
+            )
+
+    @property
+    def is_silent(self) -> bool:
+        """True when the model can never produce an access."""
+        return self.touch_probability == 0.0 or self.monitored_touches == 0
+
+    def sample(self, monitored_addresses: Sequence[int],
+               rng: random.Random) -> List[int]:
+        """Addresses the noisy process touches during one probe window."""
+        if self.is_silent or not monitored_addresses:
+            return []
+        if rng.random() >= self.touch_probability:
+            return []
+        return [
+            rng.choice(monitored_addresses)
+            for _ in range(self.monitored_touches)
+        ]
+
+
+#: Convenience instance: a quiet system (the paper's RTL "clean data").
+NO_NOISE = NoiseModel()

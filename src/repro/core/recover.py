@@ -1,0 +1,73 @@
+"""Step 4 of the GRINCH methodology: reverse-engineering key bits.
+
+Once elimination converges on a cache line, the attacker knows the
+target S-box index up to the intra-line offset.  Because the crafted
+state bits were forced to 1, each readable key-position index bit
+inverts into a key bit (``Key[i] = NOT Index[a]`` in the paper).  The
+key-free bits of the index are *predicted* by the attacker, which gives
+a consistency check: indices in the line that contradict the prediction
+are impossible — with wide lines this filter is what keeps the
+candidate count at the paper's "maximum number of 4" (Section III-D),
+and an empty filter result exposes a wrong earlier-round hypothesis.
+
+The key bits sit at nibble offsets 0/1 for GIFT-64 and 1/2 for
+GIFT-128; everything here reads the offsets from the
+:class:`~repro.core.target_bits.TargetSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .monitor import SboxMonitor
+from .target_bits import TargetSpec
+
+#: A candidate for one segment's two round-key bits: ``(v_bit, u_bit)``.
+KeyBitPair = Tuple[int, int]
+
+
+def indices_consistent_with_prediction(spec: TargetSpec,
+                                       monitor: SboxMonitor,
+                                       line: int) -> Tuple[int, ...]:
+    """S-box indices in ``line`` matching the predicted key-free bits."""
+    return tuple(
+        index
+        for index in monitor.indices_for_line(line)
+        if all(
+            (index >> offset) & 1 == value
+            for offset, value in spec.free_bit_predictions
+        )
+    )
+
+
+def key_pairs_from_line(spec: TargetSpec, monitor: SboxMonitor,
+                        line: int) -> Tuple[KeyBitPair, ...]:
+    """Candidate ``(v, u)`` key-bit pairs implied by a converged ``line``.
+
+    Empty result means the observation is inconsistent with the
+    attacker's predictions — the caller treats it like a contradiction.
+    """
+    v_offset, u_offset = spec.key_offsets
+    pairs = {
+        (
+            ((index >> v_offset) & 1) ^ 1,
+            ((index >> u_offset) & 1) ^ 1,
+        )
+        for index in indices_consistent_with_prediction(spec, monitor, line)
+    }
+    return tuple(sorted(pairs))
+
+
+def expected_index(spec: TargetSpec, v_bit: int, u_bit: int) -> int:
+    """The S-box index the target access *will* use, given the key bits.
+
+    Used by the verification stage (where the target round's key bits
+    are already determined by earlier recoveries) and by tests.
+    """
+    if v_bit not in (0, 1) or u_bit not in (0, 1):
+        raise ValueError(f"key bits must be 0/1, got ({v_bit}, {u_bit})")
+    v_offset, u_offset = spec.key_offsets
+    index = ((1 ^ v_bit) << v_offset) | ((1 ^ u_bit) << u_offset)
+    for offset, value in spec.free_bit_predictions:
+        index |= value << offset
+    return index

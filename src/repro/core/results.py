@@ -1,0 +1,166 @@
+"""Result records produced by the GRINCH attack stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .recover import KeyBitPair
+
+
+@dataclass
+class SegmentOutcome:
+    """Outcome of attacking one (round, segment) target.
+
+    ``resolved_hypothesis`` records which previous-round key-bit
+    assignment survived the consistency test (empty for round 1 or when
+    nothing was ambiguous).
+    """
+
+    round_index: int
+    segment: int
+    encryptions: int
+    hypotheses_tried: int
+    line: int
+    key_pairs: Tuple[KeyBitPair, ...]
+    resolved_hypothesis: Dict[int, KeyBitPair] = field(default_factory=dict)
+
+    @property
+    def ambiguous(self) -> bool:
+        """More than one key-bit pair remains for this segment."""
+        return len(self.key_pairs) > 1
+
+
+@dataclass
+class RoundKeyEstimate:
+    """Attacker's knowledge of one round key: per-segment candidates.
+
+    ``pair_candidates[s]`` holds the surviving ``(v, u)`` bit pairs for
+    segment ``s``.  With 1-word cache lines every tuple is a singleton;
+    wider lines leave 2 or 4 candidates until a later stage resolves
+    them (Section III-D).
+    """
+
+    round_index: int
+    pair_candidates: List[Tuple[KeyBitPair, ...]]
+
+    def __post_init__(self) -> None:
+        if len(self.pair_candidates) not in (16, 32):
+            raise ValueError(
+                f"GIFT round keys cover 16 (GIFT-64) or 32 (GIFT-128) "
+                f"segments, got {len(self.pair_candidates)}"
+            )
+        for segment, candidates in enumerate(self.pair_candidates):
+            if not candidates:
+                raise ValueError(f"segment {segment} has no candidates")
+
+    @property
+    def segments(self) -> int:
+        """Number of state segments this round key covers."""
+        return len(self.pair_candidates)
+
+    @property
+    def resolved(self) -> bool:
+        """Every segment is down to a single candidate pair."""
+        return all(len(c) == 1 for c in self.pair_candidates)
+
+    @property
+    def ambiguity(self) -> int:
+        """Number of joint candidate assignments still alive."""
+        product = 1
+        for candidates in self.pair_candidates:
+            product *= len(candidates)
+        return product
+
+    def resolve_segment(self, segment: int, pair: KeyBitPair) -> None:
+        """Pin one segment to a single candidate (consistency result)."""
+        self.narrow_segment(segment, (pair,))
+
+    def narrow_segment(self, segment: int,
+                       pairs: Tuple[KeyBitPair, ...]) -> None:
+        """Shrink one segment's candidates to a surviving subset."""
+        if not pairs:
+            raise ValueError(f"cannot narrow segment {segment} to nothing")
+        current = self.pair_candidates[segment]
+        missing = [pair for pair in pairs if pair not in current]
+        if missing:
+            raise ValueError(
+                f"pairs {missing} are not among segment {segment}'s "
+                f"candidates {current}"
+            )
+        self.pair_candidates[segment] = tuple(
+            pair for pair in current if pair in pairs
+        )
+
+    def as_round_key(self) -> Tuple[int, int]:
+        """Return the resolved ``(U, V)`` round key.
+
+        Only valid when :attr:`resolved`; ``v`` bits sit on state bits
+        ``4s`` and ``u`` bits on ``4s + 1``.
+        """
+        if not self.resolved:
+            raise RuntimeError(
+                f"round-{self.round_index} estimate still has "
+                f"{self.ambiguity} joint candidates"
+            )
+        return self.guess_round_key({})
+
+    def guess_round_key(self, overrides: Dict[int, KeyBitPair]
+                        ) -> Tuple[int, int]:
+        """Assemble a concrete ``(U, V)`` guess.
+
+        Unresolved segments default to their first candidate unless
+        ``overrides`` pins them; errors in segments outside a target's
+        source cone are harmless (they only perturb already-random
+        plaintext segments), which is what makes this default sound.
+        """
+        u = 0
+        v = 0
+        for segment in range(self.segments):
+            v_bit, u_bit = overrides.get(
+                segment, self.pair_candidates[segment][0]
+            )
+            u |= u_bit << segment
+            v |= v_bit << segment
+        return u, v
+
+
+@dataclass
+class RoundAttackOutcome:
+    """Aggregated outcome of one full round's 16 segment attacks."""
+
+    round_index: int
+    segments: List[SegmentOutcome]
+    estimate: RoundKeyEstimate
+
+    @property
+    def encryptions(self) -> int:
+        """Total victim encryptions spent on this round."""
+        return sum(s.encryptions for s in self.segments)
+
+
+@dataclass
+class AttackResult:
+    """Final result of a full GRINCH key recovery."""
+
+    master_key: int
+    total_encryptions: int
+    rounds: List[RoundAttackOutcome]
+    verified: bool
+    verification_encryptions: int = 0
+
+    @property
+    def encryptions_by_round(self) -> Dict[int, int]:
+        """Victim encryptions per attacked round."""
+        return {r.round_index: r.encryptions for r in self.rounds}
+
+
+@dataclass
+class FirstRoundResult:
+    """Result of the single-round experiments (Fig. 3 / Table I)."""
+
+    outcome: RoundAttackOutcome
+    encryptions: int
+    recovered_bits: int
+    dropped_out: bool = False
+    dropout_reason: Optional[str] = None

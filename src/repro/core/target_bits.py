@@ -1,0 +1,219 @@
+"""Algorithm 1 of the GRINCH paper: selecting and tracing target key bits.
+
+For a target round ``t`` and state segment ``s``, AddRoundKey XORs two
+secret bits into fixed bit offsets of the segment (bits 0/1 for
+GIFT-64, bits 1/2 for GIFT-128) of round ``t``'s output — which is
+exactly the S-box *input* of round ``t + 1``, segment ``s``.
+Algorithm 1 walks the four bits of that segment backwards through
+PermBits to find which round-``t`` S-box output bits must be pinned,
+and collects the S-box input lists that pin them (``List_A``/``List_B``
+in the paper).
+
+Section III-C requires controlling all *four* source segments ("the
+attacker has to carefully select four segments"), because the two
+key-free bits of the target index must also stay constant for the
+intersection to converge to a single entry.  :func:`set_target_bits`
+therefore traces all four bits; the two key positions are forced to 1
+(as in the paper) and the free positions to a configurable constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..gift.constants import constant_mask
+from ..gift.permutation import inverse_permutation_for_width
+from ..gift.sbox import inputs_for_output_bits
+from .profile import profile_for_width
+
+
+@dataclass(frozen=True)
+class SourceBit:
+    """One round-``t`` output bit of the target segment, traced to its source.
+
+    Attributes
+    ----------
+    target_position:
+        Bit position within the round-``t`` output state (``4s + j``).
+    pre_perm_position:
+        The same bit before PermBits, i.e. within the S-box output layer.
+    source_segment:
+        Segment whose S-box produces the bit (``pre_perm_position // 4``).
+    output_bit:
+        Bit offset within that S-box output (``pre_perm_position % 4``).
+    forced_value:
+        Constant the attacker forces this S-box output bit to.
+    key_xored:
+        Whether AddRoundKey XORs a secret key bit at ``target_position``.
+    """
+
+    target_position: int
+    pre_perm_position: int
+    source_segment: int
+    output_bit: int
+    forced_value: int
+    key_xored: bool
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Everything needed to craft plaintexts and interpret observations
+    for one (round, segment) target.
+
+    ``valid_inputs`` maps each source segment to the list of S-box inputs
+    that force its constrained output bit(s) — the paper's
+    ``List_A``/``List_B``, extended to all four sources.
+    ``free_bit_predictions`` gives, per key-free index bit offset, the
+    value the attacker *predicts* for the monitored round-``t + 1``
+    access (forced value XORed with the key-independent round constant).
+    """
+
+    round_index: int
+    segment: int
+    width: int
+    sources: Tuple[SourceBit, ...]
+    valid_inputs: Dict[int, Tuple[int, ...]]
+    key_offsets: Tuple[int, int]
+    free_bit_predictions: Tuple[Tuple[int, int], ...]
+    key_bit_positions: Tuple[int, int]
+
+    @property
+    def source_segments(self) -> Tuple[int, ...]:
+        """Distinct segments of round ``t``'s input that must be controlled."""
+        return tuple(sorted(self.valid_inputs))
+
+    @property
+    def predicted_high_bits(self) -> int:
+        """GIFT-64 compatibility view: predicted index bits 3..2.
+
+        Only meaningful when the free offsets are exactly (2, 3), i.e.
+        the GIFT-64 layout.
+        """
+        predictions = dict(self.free_bit_predictions)
+        if set(predictions) != {2, 3}:
+            raise ValueError(
+                f"predicted_high_bits is a GIFT-64 view; free offsets "
+                f"here are {sorted(predictions)}"
+            )
+        return (predictions[3] << 1) | predictions[2]
+
+    def master_key_bits(self) -> Tuple[int, int]:
+        """Master-key bit indices recovered by this target.
+
+        Returns ``(v_bit, u_bit)``; only defined for the attacked rounds
+        (where round keys are fresh master-key material).
+        """
+        return profile_for_width(self.width).master_key_bits(
+            self.round_index, self.segment
+        )
+
+
+def set_target_bits(round_index: int, segment: int, width: int = 64,
+                    forced_high_bits: Tuple[int, ...] = (1, 1)) -> TargetSpec:
+    """Algorithm 1 (extended per Section III-C): build a :class:`TargetSpec`.
+
+    Parameters
+    ----------
+    round_index:
+        The round whose AddRoundKey bits are attacked (``t``); the
+        monitored S-box accesses happen in round ``t + 1``.
+    segment:
+        Target state segment ``s``.
+    width:
+        Cipher state width (64 or 128).
+    forced_high_bits:
+        Constants for the two key-free bits of the target index, in
+        ascending offset order (offsets 2 and 3 for GIFT-64, 0 and 3
+        for GIFT-128).  The key positions are always forced to 1,
+        following the paper ("In this attack we set these bits to 1").
+    """
+    profile = profile_for_width(width)
+    if not 0 <= segment < profile.segments:
+        raise ValueError(
+            f"segment must be in [0, {profile.segments}), got {segment}"
+        )
+    if len(forced_high_bits) != len(profile.free_offsets) or any(
+            bit not in (0, 1) for bit in forced_high_bits):
+        raise ValueError(
+            f"forced_high_bits must be {len(profile.free_offsets)} bits, "
+            f"got {forced_high_bits}"
+        )
+    forced_by_offset = {
+        profile.v_offset: 1,
+        profile.u_offset: 1,
+    }
+    for offset, value in zip(profile.free_offsets, forced_high_bits):
+        forced_by_offset[offset] = value
+
+    inverse_perm = inverse_permutation_for_width(width)
+    sources: List[SourceBit] = []
+    constraints_by_segment: Dict[int, List[Tuple[int, int]]] = {}
+    for offset in range(4):
+        target_position = 4 * segment + offset
+        pre_perm_position = inverse_perm[target_position]
+        source_segment = pre_perm_position // 4
+        output_bit = pre_perm_position % 4
+        forced_value = forced_by_offset[offset]
+        sources.append(
+            SourceBit(
+                target_position=target_position,
+                pre_perm_position=pre_perm_position,
+                source_segment=source_segment,
+                output_bit=output_bit,
+                forced_value=forced_value,
+                key_xored=offset in profile.key_offsets,
+            )
+        )
+        constraints_by_segment.setdefault(source_segment, []).append(
+            (output_bit, forced_value)
+        )
+
+    if len(constraints_by_segment) != 4:
+        # GIFT's permutations send the four bits of every segment to
+        # four distinct segments, so the converse holds too; anything
+        # else means the permutation tables are corrupted.
+        raise RuntimeError(
+            "expected 4 distinct source segments for segment "
+            f"{segment}, got {sorted(constraints_by_segment)}"
+        )
+
+    valid_inputs = {
+        source_segment: tuple(inputs_for_output_bits(constraints))
+        for source_segment, constraints in constraints_by_segment.items()
+    }
+    for source_segment, inputs in valid_inputs.items():
+        if not inputs:
+            raise RuntimeError(
+                f"no S-box input satisfies the constraints of source "
+                f"segment {source_segment}"
+            )
+
+    constant = constant_mask(round_index, width)
+    free_bit_predictions = tuple(
+        (
+            offset,
+            forced_by_offset[offset]
+            ^ ((constant >> (4 * segment + offset)) & 1),
+        )
+        for offset in profile.free_offsets
+    )
+
+    if 1 <= round_index <= profile.full_key_rounds:
+        key_positions = profile.master_key_bits(round_index, segment)
+    else:
+        # Rounds beyond the attacked window reuse (rotated) key material;
+        # the positions are not fresh master-key bits.  Used only by the
+        # verification stage.
+        key_positions = (-1, -1)
+
+    return TargetSpec(
+        round_index=round_index,
+        segment=segment,
+        width=width,
+        sources=tuple(sources),
+        valid_inputs=valid_inputs,
+        key_offsets=profile.key_offsets,
+        free_bit_predictions=free_bit_predictions,
+        key_bit_positions=key_positions,
+    )

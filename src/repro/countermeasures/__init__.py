@@ -1,0 +1,37 @@
+"""The paper's two proposed GRINCH countermeasures and their evaluation."""
+
+from .evaluation import (
+    CountermeasureReport,
+    LeakageSummary,
+    evaluate_hardened_schedule,
+    evaluate_reshaped_sbox,
+    profile_leakage,
+)
+from .hardened_schedule import (
+    HardenedKeyScheduleGift64,
+    hardened_round_keys,
+    whiten_word,
+)
+from .reshaped_sbox import (
+    RECOMMENDED_GEOMETRY,
+    RESHAPED_ROWS,
+    RESHAPED_SBOX_ROWS,
+    ReshapedSboxGift64,
+    reshaped_lookup,
+)
+
+__all__ = [
+    "CountermeasureReport",
+    "LeakageSummary",
+    "evaluate_hardened_schedule",
+    "evaluate_reshaped_sbox",
+    "profile_leakage",
+    "HardenedKeyScheduleGift64",
+    "hardened_round_keys",
+    "whiten_word",
+    "RECOMMENDED_GEOMETRY",
+    "RESHAPED_ROWS",
+    "RESHAPED_SBOX_ROWS",
+    "ReshapedSboxGift64",
+    "reshaped_lookup",
+]

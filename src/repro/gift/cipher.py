@@ -1,0 +1,161 @@
+"""Reference (bit-level) implementations of GIFT-64 and GIFT-128.
+
+These are the ground-truth ciphers: pure integer arithmetic with no
+lookup tables beyond the S-box definition itself, used to validate the
+table-based victim implementation (:mod:`repro.gift.lut`) and to verify
+keys recovered by the attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .constants import constant_mask
+from .keyschedule import GiftKeyState, key_xor_state_bits
+from .permutation import permutation_for_width, permute
+from .sbox import GIFT_SBOX, GIFT_SBOX_INV
+
+
+def sub_cells(state: int, width: int, inverse: bool = False) -> int:
+    """Apply SubCells (or its inverse) to every 4-bit segment of ``state``."""
+    table = GIFT_SBOX_INV if inverse else GIFT_SBOX
+    result = 0
+    for segment in range(width // 4):
+        nibble = (state >> (4 * segment)) & 0xF
+        result |= table[nibble] << (4 * segment)
+    return result
+
+
+def round_key_mask(u: int, v: int, width: int) -> int:
+    """Expand round-key halves ``U``/``V`` into a full-state XOR mask."""
+    u_positions, v_positions = key_xor_state_bits(width)
+    mask = 0
+    for bit, position in enumerate(u_positions):
+        if (u >> bit) & 1:
+            mask |= 1 << position
+    for bit, position in enumerate(v_positions):
+        if (v >> bit) & 1:
+            mask |= 1 << position
+    return mask
+
+
+def add_round_key(state: int, u: int, v: int, round_index: int, width: int) -> int:
+    """Apply AddRoundKey: round-key halves ``U``/``V`` plus the round constant."""
+    return state ^ round_key_mask(u, v, width) ^ constant_mask(round_index, width)
+
+
+@dataclass(frozen=True)
+class RoundState:
+    """Intermediate values of one round, for analysis and attack crafting."""
+
+    round_index: int
+    before_sub_cells: int
+    after_sub_cells: int
+    after_perm_bits: int
+    after_add_round_key: int
+
+
+class GiftCipher:
+    """A GIFT cipher instance bound to a width and a 128-bit master key."""
+
+    def __init__(self, master_key: int, width: int, rounds: int) -> None:
+        if width not in (64, 128):
+            raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+        if not 0 <= master_key < (1 << 128):
+            raise ValueError("master key must be a 128-bit integer")
+        if rounds < 1:
+            raise ValueError(f"round count must be positive, got {rounds}")
+        self.width = width
+        self.rounds = rounds
+        self.master_key = master_key
+        self._state_mask = (1 << width) - 1
+        self._permutation = permutation_for_width(width)
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block <= self._state_mask:
+            raise ValueError(f"block must be a {self.width}-bit integer")
+
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt one block."""
+        self._check_block(plaintext)
+        state = plaintext
+        key = GiftKeyState(self.master_key)
+        for round_index in range(1, self.rounds + 1):
+            state = sub_cells(state, self.width)
+            state = permute(state, self._permutation)
+            u, v = key.round_key(self.width)
+            state = add_round_key(state, u, v, round_index, self.width)
+            key.update()
+        return state
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt one block."""
+        self._check_block(ciphertext)
+        key = GiftKeyState(self.master_key)
+        keys = []
+        for round_index in range(1, self.rounds + 1):
+            keys.append(key.round_key(self.width))
+            key.update()
+
+        inverse_perm = [0] * self.width
+        for source, destination in enumerate(self._permutation):
+            inverse_perm[destination] = source
+
+        state = ciphertext
+        for round_index in range(self.rounds, 0, -1):
+            u, v = keys[round_index - 1]
+            state = add_round_key(state, u, v, round_index, self.width)
+            state = permute(state, tuple(inverse_perm))
+            state = sub_cells(state, self.width, inverse=True)
+        return state
+
+    def round_states(self, plaintext: int, rounds: int = None) -> List[RoundState]:
+        """Return the per-round intermediate states of an encryption.
+
+        The GRINCH attacker uses this on *its own model* of the cipher
+        (with hypothesised key bits) to craft plaintexts; tests use it on
+        the real key to validate attack bookkeeping.
+        """
+        self._check_block(plaintext)
+        limit = self.rounds if rounds is None else rounds
+        if not 1 <= limit <= self.rounds:
+            raise ValueError(f"rounds must be in [1, {self.rounds}], got {rounds}")
+        states = []
+        state = plaintext
+        key = GiftKeyState(self.master_key)
+        for round_index in range(1, limit + 1):
+            before = state
+            after_sub = sub_cells(state, self.width)
+            after_perm = permute(after_sub, self._permutation)
+            u, v = key.round_key(self.width)
+            state = add_round_key(after_perm, u, v, round_index, self.width)
+            key.update()
+            states.append(
+                RoundState(
+                    round_index=round_index,
+                    before_sub_cells=before,
+                    after_sub_cells=after_sub,
+                    after_perm_bits=after_perm,
+                    after_add_round_key=state,
+                )
+            )
+        return states
+
+
+class Gift64(GiftCipher):
+    """GIFT-64: 64-bit blocks, 128-bit key, 28 rounds."""
+
+    ROUNDS = 28
+
+    def __init__(self, master_key: int, rounds: int = ROUNDS) -> None:
+        super().__init__(master_key, width=64, rounds=rounds)
+
+
+class Gift128(GiftCipher):
+    """GIFT-128: 128-bit blocks, 128-bit key, 40 rounds."""
+
+    ROUNDS = 40
+
+    def __init__(self, master_key: int, rounds: int = ROUNDS) -> None:
+        super().__init__(master_key, width=128, rounds=rounds)

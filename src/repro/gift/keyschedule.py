@@ -1,0 +1,153 @@
+"""GIFT key schedule (shared by GIFT-64 and GIFT-128).
+
+The 128-bit key state is viewed as eight 16-bit words ``k7 || ... || k0``
+(``k0`` least significant).  Each round extracts a round key from the low
+words and then rotates the whole state 32 bits to the right, applying
+local rotations (``>>> 2`` and ``>>> 12``) to the two words that were just
+consumed — exactly the "Update Key" box in Fig. 1 of the GRINCH paper.
+
+Because the state rotates a full 32 bits per round, rounds 1-4 consume
+the four *disjoint* 32-bit quarters of the master key.  That is the
+property GRINCH leans on: recovering the round keys of rounds 1-4
+recovers the entire 128-bit master key with no additional algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+KEY_BITS: int = 128
+_WORD_MASK: int = 0xFFFF
+
+
+def _rotate_right_16(word: int, amount: int) -> int:
+    amount %= 16
+    return ((word >> amount) | (word << (16 - amount))) & _WORD_MASK
+
+
+@dataclass
+class GiftKeyState:
+    """Mutable 128-bit GIFT key state.
+
+    Parameters
+    ----------
+    value:
+        The 128-bit key state as an integer (``k7`` in the top 16 bits).
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << KEY_BITS):
+            raise ValueError("key must be a 128-bit integer")
+
+    def word(self, index: int) -> int:
+        """Return 16-bit word ``k<index>`` of the current state."""
+        if not 0 <= index < 8:
+            raise ValueError(f"word index must be in [0, 8), got {index}")
+        return (self.value >> (16 * index)) & _WORD_MASK
+
+    def words(self) -> Tuple[int, ...]:
+        """Return ``(k0, ..., k7)`` of the current state."""
+        return tuple(self.word(i) for i in range(8))
+
+    def round_key(self, width: int) -> Tuple[int, int]:
+        """Extract the round key ``(U, V)`` for the current round.
+
+        GIFT-64 uses 16-bit halves ``U = k1`` and ``V = k0``; GIFT-128
+        uses 32-bit halves ``U = k5 || k4`` and ``V = k1 || k0``.
+        """
+        if width == 64:
+            return self.word(1), self.word(0)
+        if width == 128:
+            u = (self.word(5) << 16) | self.word(4)
+            v = (self.word(1) << 16) | self.word(0)
+            return u, v
+        raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+
+    def update(self) -> None:
+        """Advance the key state by one round."""
+        k0 = self.word(0)
+        k1 = self.word(1)
+        rotated_high = (_rotate_right_16(k1, 2) << 16) | _rotate_right_16(k0, 12)
+        self.value = (rotated_high << 96) | (self.value >> 32)
+
+    def copy(self) -> "GiftKeyState":
+        """Return an independent copy of the key state."""
+        return GiftKeyState(self.value)
+
+
+def round_keys(master_key: int, rounds: int, width: int) -> List[Tuple[int, int]]:
+    """Return the ``(U, V)`` round keys of the first ``rounds`` rounds."""
+    state = GiftKeyState(master_key)
+    keys = []
+    for _ in range(rounds):
+        keys.append(state.round_key(width))
+        state.update()
+    return keys
+
+
+def key_xor_state_bits(width: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """State bit positions receiving ``U`` and ``V`` round-key bits.
+
+    GIFT-64 XORs ``V[i]`` into state bit ``4i`` and ``U[i]`` into
+    ``4i + 1``; GIFT-128 XORs ``V[i]`` into ``4i + 1`` and ``U[i]`` into
+    ``4i + 2``.  Returns ``(u_positions, v_positions)`` where entry ``i``
+    is the state bit for round-key bit ``i``.
+    """
+    if width == 64:
+        u_positions = tuple(4 * i + 1 for i in range(16))
+        v_positions = tuple(4 * i for i in range(16))
+    elif width == 128:
+        u_positions = tuple(4 * i + 2 for i in range(32))
+        v_positions = tuple(4 * i + 1 for i in range(32))
+    else:
+        raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+    return u_positions, v_positions
+
+
+def master_key_bits_for_segment(round_index: int, segment: int, width: int = 64
+                                ) -> Tuple[int, int]:
+    """Master-key bit indices XORed into ``segment`` at round ``round_index``.
+
+    Only valid for rounds 1-4, where the round keys are disjoint quarters
+    of the master key (the property GRINCH exploits).  For GIFT-64 round
+    ``r`` and segment ``i`` these are bit ``32(r-1) + i`` (the ``V`` bit,
+    state bit ``4i``) and bit ``32(r-1) + 16 + i`` (the ``U`` bit, state
+    bit ``4i + 1``); e.g. round 1, segment 0 uses key bits 0 and 16 as in
+    Fig. 1 of the paper.
+
+    Returns ``(v_key_bit, u_key_bit)``.
+    """
+    if width != 64:
+        raise ValueError("segment/key-bit bookkeeping is defined for GIFT-64")
+    if not 1 <= round_index <= 4:
+        raise ValueError(
+            "master-key quarters only align with rounds 1-4, "
+            f"got round {round_index}"
+        )
+    if not 0 <= segment < 16:
+        raise ValueError(f"GIFT-64 has 16 segments, got {segment}")
+    base = 32 * (round_index - 1)
+    return base + segment, base + 16 + segment
+
+
+def assemble_master_key_from_round_keys(
+    round_key_list: List[Tuple[int, int]]
+) -> int:
+    """Rebuild the 128-bit master key from the first four GIFT-64 round keys.
+
+    This is the final step of a full GRINCH run: each recovered round key
+    ``(U, V)`` of round ``r`` (1-based) contributes master-key words
+    ``k(2r-1) = U`` and ``k(2r-2) = V``.
+    """
+    if len(round_key_list) != 4:
+        raise ValueError("exactly the first four round keys are required")
+    master = 0
+    for round_index, (u, v) in enumerate(round_key_list, start=1):
+        if not 0 <= u <= _WORD_MASK or not 0 <= v <= _WORD_MASK:
+            raise ValueError("GIFT-64 round-key halves are 16-bit values")
+        master |= v << (32 * (round_index - 1))
+        master |= u << (32 * (round_index - 1) + 16)
+    return master

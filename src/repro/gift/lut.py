@@ -1,0 +1,269 @@
+"""Table-based (lookup-table) GIFT victim implementation with memory tracing.
+
+This mirrors the software structure of the public GIFT implementation
+the paper attacks (github.com/giftcipher/gift, reference [13]): SubCells
+is one S-box table load per segment per round, and PermBits is one load
+per segment from a precomputed scatter table.  Every load is recorded as
+a :class:`~repro.gift.trace.MemoryAccess` so the cache simulator can
+replay the exact address stream a shared cache would see.
+
+The S-box load address is ``sbox_base + entry_bytes * index`` — the
+key-dependent address GRINCH observes.  The PermBits table is
+key-*independent* in round 1 but correlated with S-box outputs in later
+rounds; it lives at a disjoint address range, as in the real binary,
+so it only interferes through cache-set collisions (a Prime+Probe
+concern, exercised by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .cipher import add_round_key
+from .keyschedule import round_keys as standard_round_keys
+from .permutation import inverse_permutation_for_width, permutation_for_width, permute
+from .sbox import GIFT_SBOX, GIFT_SBOX_INV
+from .trace import EncryptionTrace, MemoryAccess
+
+
+@dataclass(frozen=True)
+class TableLayout:
+    """Where the victim's lookup tables live in its data memory.
+
+    The defaults model a small statically linked IoT binary: the 16-entry
+    S-box packed one byte per entry (the paper's "16 bytes" table) and
+    the PermBits scatter table in a separate, non-overlapping region.
+    """
+
+    sbox_base: int = 0x1000
+    sbox_entry_bytes: int = 1
+    perm_base: int = 0x2000
+    perm_entry_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sbox_base < 0 or self.perm_base < 0:
+            raise ValueError("table base addresses must be non-negative")
+        if self.sbox_entry_bytes < 1 or self.perm_entry_bytes < 1:
+            raise ValueError("table entry sizes must be positive")
+        sbox_end = self.sbox_base + 16 * self.sbox_entry_bytes
+        lo, hi = sorted([self.sbox_base, self.perm_base])
+        if lo == self.sbox_base and sbox_end > self.perm_base:
+            raise ValueError("S-box and PermBits tables overlap")
+
+    def sbox_address(self, index: int) -> int:
+        """Byte address of S-box entry ``index``."""
+        if not 0 <= index < 16:
+            raise ValueError(f"S-box index must be a 4-bit value, got {index}")
+        return self.sbox_base + self.sbox_entry_bytes * index
+
+    def sbox_addresses(self) -> List[int]:
+        """Addresses of all sixteen S-box entries, in index order."""
+        return [self.sbox_address(i) for i in range(16)]
+
+    def perm_address(self, segment: int, nibble: int, segments: int) -> int:
+        """Byte address of the PermBits scatter entry for one segment/nibble."""
+        if not 0 <= nibble < 16:
+            raise ValueError(f"nibble must be a 4-bit value, got {nibble}")
+        if not 0 <= segment < segments:
+            raise ValueError(f"segment must be in [0, {segments}), got {segment}")
+        return self.perm_base + self.perm_entry_bytes * (segment * 16 + nibble)
+
+
+def _build_scatter_table(width: int) -> Tuple[Tuple[int, ...], ...]:
+    """Precompute PermBits as ``table[segment][nibble] -> scattered bits``.
+
+    This is the classic LUT realisation of a bit permutation: the four
+    bits of ``nibble`` sitting at segment ``segment`` are placed at their
+    permuted positions; OR-ing the entries of all segments applies the
+    full permutation.
+    """
+    permutation = permutation_for_width(width)
+    segments = width // 4
+    table = []
+    for segment in range(segments):
+        row = []
+        for nibble in range(16):
+            scattered = 0
+            for bit in range(4):
+                if (nibble >> bit) & 1:
+                    scattered |= 1 << permutation[4 * segment + bit]
+            row.append(scattered)
+        table.append(tuple(row))
+    return tuple(table)
+
+
+_SCATTER_TABLES = {64: _build_scatter_table(64), 128: _build_scatter_table(128)}
+
+
+def _sub_cells_inverse(state: int, width: int) -> int:
+    result = 0
+    for segment in range(width // 4):
+        nibble = (state >> (4 * segment)) & 0xF
+        result |= GIFT_SBOX_INV[nibble] << (4 * segment)
+    return result
+
+
+class TracedGiftCipher:
+    """LUT-based GIFT that records every table load it performs.
+
+    Functionally identical to :class:`repro.gift.cipher.GiftCipher`
+    (cross-checked in the test suite); additionally produces the address
+    stream used as the victim side of the cache-attack simulation.
+    """
+
+    def __init__(self, master_key: int, width: int, rounds: int,
+                 layout: TableLayout = TableLayout()) -> None:
+        if width not in (64, 128):
+            raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+        if not 0 <= master_key < (1 << 128):
+            raise ValueError("master key must be a 128-bit integer")
+        if rounds < 1:
+            raise ValueError(f"round count must be positive, got {rounds}")
+        self.width = width
+        self.rounds = rounds
+        self.master_key = master_key
+        self.layout = layout
+        self._segments = width // 4
+        self._scatter = _SCATTER_TABLES[width]
+        self._round_keys: List[Tuple[int, int]] = self.compute_round_keys()
+
+    def compute_round_keys(self) -> List[Tuple[int, int]]:
+        """Return the ``(U, V)`` round keys for all rounds.
+
+        Subclasses override this to model key-schedule countermeasures
+        (the paper's second proposed protection hardens UpdateKey).
+        """
+        return standard_round_keys(self.master_key, self.rounds, self.width)
+
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt one block (no tracing)."""
+        return self.encrypt_traced(plaintext).ciphertext
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt one block (not traced).
+
+        GRINCH only ever observes encryptions, so no decryption address
+        stream is modelled; the inverse rounds use the same round keys
+        as :meth:`encrypt`, so key-schedule-hardened subclasses stay
+        self-consistent.
+        """
+        if not 0 <= ciphertext < (1 << self.width):
+            raise ValueError(f"block must be a {self.width}-bit integer")
+        inverse_perm = inverse_permutation_for_width(self.width)
+        state = ciphertext
+        for round_index in range(self.rounds, 0, -1):
+            u, v = self._round_keys[round_index - 1]
+            state = add_round_key(state, u, v, round_index, self.width)
+            state = permute(state, inverse_perm)
+            state = _sub_cells_inverse(state, self.width)
+        return state
+
+    def encrypt_traced(self, plaintext: int, max_rounds: int = None
+                       ) -> EncryptionTrace:
+        """Encrypt one block, recording all table loads.
+
+        ``max_rounds`` bounds tracing (and computation) for experiments
+        that only need the early rounds — running 28 full rounds per
+        probe would dominate the Monte-Carlo sweeps for no extra
+        information.  When bounded, ``ciphertext`` holds the state after
+        ``max_rounds`` rounds rather than the real ciphertext.
+        """
+        if not 0 <= plaintext < (1 << self.width):
+            raise ValueError(f"block must be a {self.width}-bit integer")
+        limit = self.rounds if max_rounds is None else max_rounds
+        if not 1 <= limit <= self.rounds:
+            raise ValueError(f"max_rounds must be in [1, {self.rounds}]")
+
+        trace = EncryptionTrace(plaintext=plaintext, ciphertext=0)
+        state = plaintext
+        for round_index in range(1, limit + 1):
+            state = self._sub_cells_traced(state, round_index, trace)
+            state = self._perm_bits_traced(state, round_index, trace)
+            u, v = self._round_keys[round_index - 1]
+            state = add_round_key(state, u, v, round_index, self.width)
+        trace.ciphertext = state
+        return trace
+
+    def sbox_indices_by_round(self, plaintext: int, max_rounds: int
+                              ) -> List[List[int]]:
+        """Per-round S-box indices, without trace-object overhead.
+
+        Semantically equal to reading the ``sbox`` accesses off
+        :meth:`encrypt_traced` (asserted by the test suite); used by the
+        attack's fast observation path, where the million-encryption
+        sweeps of Table I cannot afford building
+        :class:`~repro.gift.trace.MemoryAccess` records.
+        """
+        if not 0 <= plaintext < (1 << self.width):
+            raise ValueError(f"block must be a {self.width}-bit integer")
+        if not 1 <= max_rounds <= self.rounds:
+            raise ValueError(f"max_rounds must be in [1, {self.rounds}]")
+        indices_by_round: List[List[int]] = []
+        state = plaintext
+        scatter = self._scatter
+        round_key_list = self._round_keys
+        for round_index in range(1, max_rounds + 1):
+            indices = [
+                (state >> (4 * segment)) & 0xF
+                for segment in range(self._segments)
+            ]
+            indices_by_round.append(indices)
+            permuted = 0
+            for segment, index in enumerate(indices):
+                permuted |= scatter[segment][GIFT_SBOX[index]]
+            u, v = round_key_list[round_index - 1]
+            state = add_round_key(permuted, u, v, round_index, self.width)
+        return indices_by_round
+
+    def _sub_cells_traced(self, state: int, round_index: int,
+                          trace: EncryptionTrace) -> int:
+        result = 0
+        for segment in range(self._segments):
+            index = (state >> (4 * segment)) & 0xF
+            trace.append(
+                MemoryAccess(
+                    address=self.layout.sbox_address(index),
+                    round_index=round_index,
+                    segment=segment,
+                    table="sbox",
+                    index=index,
+                )
+            )
+            result |= GIFT_SBOX[index] << (4 * segment)
+        return result
+
+    def _perm_bits_traced(self, state: int, round_index: int,
+                          trace: EncryptionTrace) -> int:
+        result = 0
+        for segment in range(self._segments):
+            nibble = (state >> (4 * segment)) & 0xF
+            trace.append(
+                MemoryAccess(
+                    address=self.layout.perm_address(
+                        segment, nibble, self._segments
+                    ),
+                    round_index=round_index,
+                    segment=segment,
+                    table="perm",
+                    index=segment * 16 + nibble,
+                )
+            )
+            result |= self._scatter[segment][nibble]
+        return result
+
+
+class TracedGift64(TracedGiftCipher):
+    """Traced LUT implementation of GIFT-64 (the paper's victim)."""
+
+    def __init__(self, master_key: int, rounds: int = 28,
+                 layout: TableLayout = TableLayout()) -> None:
+        super().__init__(master_key, width=64, rounds=rounds, layout=layout)
+
+
+class TracedGift128(TracedGiftCipher):
+    """Traced LUT implementation of GIFT-128."""
+
+    def __init__(self, master_key: int, rounds: int = 40,
+                 layout: TableLayout = TableLayout()) -> None:
+        super().__init__(master_key, width=128, rounds=rounds, layout=layout)

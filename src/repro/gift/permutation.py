@@ -1,0 +1,97 @@
+"""GIFT bit permutations (``PermBits``) for the 64- and 128-bit variants.
+
+The permutation tables are generated from the closed form given in the
+GIFT specification (Banik et al., eprint 2017/622, Section 2.1):
+
+    P_n(i) = 4 * floor(i / 16)
+             + (n / 4) * ((3 * floor((i mod 16) / 4) + (i mod 4)) mod 4)
+             + (i mod 4)
+
+where bit ``i`` of the SubCells output moves to position ``P_n(i)``.
+
+GRINCH needs both directions: the cipher applies the forward
+permutation, while Algorithm 1 inversely permutes the AddRoundKey bit
+positions to locate which S-box output bits must be pinned.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def _generate_permutation(width: int) -> Tuple[int, ...]:
+    if width not in (64, 128):
+        raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+    block = width // 4
+    table = []
+    for i in range(width):
+        quad = (3 * ((i % 16) // 4) + (i % 4)) % 4
+        table.append(4 * (i // 16) + block * quad + (i % 4))
+    return tuple(table)
+
+
+def _invert(table: Tuple[int, ...]) -> Tuple[int, ...]:
+    inverse = [0] * len(table)
+    for source, destination in enumerate(table):
+        inverse[destination] = source
+    return tuple(inverse)
+
+
+#: ``PERM64[i]`` is the destination of state bit ``i`` in GIFT-64.
+PERM64: Tuple[int, ...] = _generate_permutation(64)
+
+#: ``PERM64_INV[j]`` is the source of state bit ``j`` in GIFT-64.
+PERM64_INV: Tuple[int, ...] = _invert(PERM64)
+
+#: ``PERM128[i]`` is the destination of state bit ``i`` in GIFT-128.
+PERM128: Tuple[int, ...] = _generate_permutation(128)
+
+#: ``PERM128_INV[j]`` is the source of state bit ``j`` in GIFT-128.
+PERM128_INV: Tuple[int, ...] = _invert(PERM128)
+
+
+def permute(state: int, table: Tuple[int, ...]) -> int:
+    """Move every bit ``i`` of ``state`` to position ``table[i]``."""
+    result = 0
+    for source, destination in enumerate(table):
+        if (state >> source) & 1:
+            result |= 1 << destination
+    return result
+
+
+def permute64(state: int) -> int:
+    """Apply GIFT-64 PermBits to a 64-bit ``state``."""
+    return permute(state, PERM64)
+
+
+def permute64_inv(state: int) -> int:
+    """Apply the inverse GIFT-64 PermBits to a 64-bit ``state``."""
+    return permute(state, PERM64_INV)
+
+
+def permute128(state: int) -> int:
+    """Apply GIFT-128 PermBits to a 128-bit ``state``."""
+    return permute(state, PERM128)
+
+
+def permute128_inv(state: int) -> int:
+    """Apply the inverse GIFT-128 PermBits to a 128-bit ``state``."""
+    return permute(state, PERM128_INV)
+
+
+def permutation_for_width(width: int) -> Tuple[int, ...]:
+    """Return the forward permutation table for a 64- or 128-bit state."""
+    if width == 64:
+        return PERM64
+    if width == 128:
+        return PERM128
+    raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+
+
+def inverse_permutation_for_width(width: int) -> Tuple[int, ...]:
+    """Return the inverse permutation table for a 64- or 128-bit state."""
+    if width == 64:
+        return PERM64_INV
+    if width == 128:
+        return PERM128_INV
+    raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")

@@ -1,0 +1,111 @@
+"""The GIFT S-box (``GS``) and helpers used by both the cipher and the attack.
+
+GIFT substitutes each 4-bit state segment (nibble) through a single
+16-entry S-box.  The tiny table is exactly what GRINCH exploits: a
+table-based software implementation performs one memory load per segment
+per round, and the loaded address reveals the S-box input.
+
+The module also provides the *bit-preimage lists* used by GRINCH's
+Algorithm 1: for a given output bit position, the set of S-box inputs
+whose output has that bit set (or cleared).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: The GIFT S-box from Banik et al., "GIFT: A Small PRESENT" (Table 1).
+GIFT_SBOX: Tuple[int, ...] = (
+    0x1, 0xA, 0x4, 0xC, 0x6, 0xF, 0x3, 0x9,
+    0x2, 0xD, 0xB, 0x7, 0x5, 0x0, 0x8, 0xE,
+)
+
+#: Inverse of :data:`GIFT_SBOX`.
+GIFT_SBOX_INV: Tuple[int, ...] = tuple(
+    GIFT_SBOX.index(value) for value in range(16)
+)
+
+#: Number of entries in the GIFT S-box.
+SBOX_SIZE: int = 16
+
+
+def sbox(value: int) -> int:
+    """Apply the GIFT S-box to a 4-bit ``value``."""
+    if not 0 <= value < SBOX_SIZE:
+        raise ValueError(f"S-box input must be a 4-bit value, got {value!r}")
+    return GIFT_SBOX[value]
+
+
+def sbox_inv(value: int) -> int:
+    """Apply the inverse GIFT S-box to a 4-bit ``value``."""
+    if not 0 <= value < SBOX_SIZE:
+        raise ValueError(f"S-box input must be a 4-bit value, got {value!r}")
+    return GIFT_SBOX_INV[value]
+
+
+def outputs_with_bit(bit_position: int, bit_value: int = 1) -> List[int]:
+    """Return the S-box *inputs* whose output bit ``bit_position`` equals ``bit_value``.
+
+    This realises the list construction inside Algorithm 1 of the GRINCH
+    paper (lines 6-13): the attacker needs plaintext nibbles that force a
+    chosen bit of the S-box output to a known constant.
+
+    Parameters
+    ----------
+    bit_position:
+        Output bit index, ``0`` (LSB) to ``3`` (MSB).
+    bit_value:
+        Desired value of that output bit, ``0`` or ``1``.
+    """
+    if not 0 <= bit_position < 4:
+        raise ValueError(f"bit_position must be in [0, 4), got {bit_position}")
+    if bit_value not in (0, 1):
+        raise ValueError(f"bit_value must be 0 or 1, got {bit_value}")
+    return [
+        value
+        for value in range(SBOX_SIZE)
+        if (GIFT_SBOX[value] >> bit_position) & 1 == bit_value
+    ]
+
+
+def inputs_for_output_bits(constraints: Sequence[Tuple[int, int]]) -> List[int]:
+    """Return S-box inputs whose output satisfies every ``(bit, value)`` constraint.
+
+    GRINCH's plaintext crafting may need to pin more than one output bit
+    of the same first-round S-box (two of a round-2 segment's four source
+    bits can share a source nibble).  An empty constraint list returns all
+    sixteen inputs.
+    """
+    candidates = list(range(SBOX_SIZE))
+    for bit_position, bit_value in constraints:
+        if not 0 <= bit_position < 4:
+            raise ValueError(f"bit position must be in [0, 4), got {bit_position}")
+        if bit_value not in (0, 1):
+            raise ValueError(f"bit value must be 0 or 1, got {bit_value}")
+        candidates = [
+            value
+            for value in candidates
+            if (GIFT_SBOX[value] >> bit_position) & 1 == bit_value
+        ]
+    return candidates
+
+
+def branch_number(table: Sequence[int]) -> int:
+    """Compute the differential branch number of a 4-bit S-box.
+
+    GIFT was designed so that its S-box only needs branch number 2
+    (PRESENT requires 3), which is what makes it cheaper.  Exposed for
+    tests and for the PRESENT comparison substrate.
+    """
+    if len(table) != SBOX_SIZE or sorted(table) != list(range(SBOX_SIZE)):
+        raise ValueError("table must be a permutation of 0..15")
+
+    def weight(value: int) -> int:
+        return bin(value).count("1")
+
+    best = 8
+    for delta_in in range(1, SBOX_SIZE):
+        for x in range(SBOX_SIZE):
+            delta_out = table[x] ^ table[x ^ delta_in]
+            best = min(best, weight(delta_in) + weight(delta_out))
+    return best

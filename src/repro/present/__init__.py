@@ -1,0 +1,21 @@
+"""PRESENT cipher — GIFT's ancestor, used as a comparison baseline."""
+
+from .cipher import (
+    PLAYER,
+    PLAYER_INV,
+    PRESENT_ROUNDS,
+    PRESENT_SBOX,
+    PRESENT_SBOX_INV,
+    Present,
+)
+from .vectors import PRESENT80_VECTORS
+
+__all__ = [
+    "PLAYER",
+    "PLAYER_INV",
+    "PRESENT_ROUNDS",
+    "PRESENT_SBOX",
+    "PRESENT_SBOX_INV",
+    "Present",
+    "PRESENT80_VECTORS",
+]

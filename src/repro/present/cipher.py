@@ -1,0 +1,147 @@
+"""Reference implementation of PRESENT (Bogdanov et al., CHES 2007).
+
+GIFT was designed as "a small PRESENT" (the paper's Section II): PRESENT
+is its direct ancestor and the natural baseline for the S-box-footprint
+comparisons in the examples.  PRESENT's S-box must satisfy branch
+number 3 — the cost GIFT's co-designed SubCells/PermBits avoids — and
+PRESENT XORs the *full* 64-bit round key into the state before every
+S-box layer, which changes where a cache attack can read key bits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: The PRESENT S-box (branch number 3).
+PRESENT_SBOX: Tuple[int, ...] = (
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+)
+
+#: Inverse of :data:`PRESENT_SBOX`.
+PRESENT_SBOX_INV: Tuple[int, ...] = tuple(
+    PRESENT_SBOX.index(value) for value in range(16)
+)
+
+#: PRESENT's bit permutation: bit ``i`` moves to ``PLAYER[i]``.
+PLAYER: Tuple[int, ...] = tuple(
+    63 if i == 63 else (16 * i) % 63 for i in range(64)
+)
+
+PLAYER_INV: Tuple[int, ...] = tuple(
+    PLAYER.index(i) for i in range(64)
+)
+
+#: Number of S-box rounds (a 32nd round key is XORed at the end).
+PRESENT_ROUNDS: int = 31
+
+
+def _sbox_layer(state: int, inverse: bool = False) -> int:
+    table = PRESENT_SBOX_INV if inverse else PRESENT_SBOX
+    result = 0
+    for segment in range(16):
+        nibble = (state >> (4 * segment)) & 0xF
+        result |= table[nibble] << (4 * segment)
+    return result
+
+
+def _p_layer(state: int, inverse: bool = False) -> int:
+    table = PLAYER_INV if inverse else PLAYER
+    result = 0
+    for i in range(64):
+        if (state >> i) & 1:
+            result |= 1 << table[i]
+    return result
+
+
+def _key_schedule_80(key: int) -> List[int]:
+    if not 0 <= key < (1 << 80):
+        raise ValueError("PRESENT-80 keys are 80-bit integers")
+    register = key
+    round_keys = []
+    for round_counter in range(1, PRESENT_ROUNDS + 2):
+        round_keys.append(register >> 16)  # top 64 bits
+        # Rotate left by 61.
+        register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+        # S-box on the top nibble.
+        top = PRESENT_SBOX[(register >> 76) & 0xF]
+        register = (register & ~(0xF << 76)) | (top << 76)
+        # XOR the round counter into bits 19..15.
+        register ^= round_counter << 15
+    return round_keys
+
+
+def _key_schedule_128(key: int) -> List[int]:
+    if not 0 <= key < (1 << 128):
+        raise ValueError("PRESENT-128 keys are 128-bit integers")
+    register = key
+    round_keys = []
+    for round_counter in range(1, PRESENT_ROUNDS + 2):
+        round_keys.append(register >> 64)
+        register = ((register << 61) | (register >> 67)) & ((1 << 128) - 1)
+        high = PRESENT_SBOX[(register >> 124) & 0xF]
+        low = PRESENT_SBOX[(register >> 120) & 0xF]
+        register = (register & ~(0xFF << 120)) | (high << 124) | (low << 120)
+        register ^= round_counter << 62
+    return round_keys
+
+
+class Present:
+    """PRESENT with an 80- or 128-bit key."""
+
+    def __init__(self, key: int, key_bits: int = 80) -> None:
+        if key_bits == 80:
+            self.round_keys = _key_schedule_80(key)
+        elif key_bits == 128:
+            self.round_keys = _key_schedule_128(key)
+        else:
+            raise ValueError(
+                f"PRESENT keys are 80 or 128 bits, got {key_bits}"
+            )
+        self.key_bits = key_bits
+        self.key = key
+
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt one 64-bit block."""
+        if not 0 <= plaintext < (1 << 64):
+            raise ValueError("PRESENT blocks are 64-bit integers")
+        state = plaintext
+        for round_index in range(PRESENT_ROUNDS):
+            state ^= self.round_keys[round_index]
+            state = _sbox_layer(state)
+            state = _p_layer(state)
+        return state ^ self.round_keys[PRESENT_ROUNDS]
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt one 64-bit block."""
+        if not 0 <= ciphertext < (1 << 64):
+            raise ValueError("PRESENT blocks are 64-bit integers")
+        state = ciphertext ^ self.round_keys[PRESENT_ROUNDS]
+        for round_index in range(PRESENT_ROUNDS - 1, -1, -1):
+            state = _p_layer(state, inverse=True)
+            state = _sbox_layer(state, inverse=True)
+            state ^= self.round_keys[round_index]
+        return state
+
+    def sbox_indices_by_round(self, plaintext: int, max_rounds: int
+                              ) -> List[List[int]]:
+        """Per-round S-box inputs, for cache-footprint comparisons.
+
+        Unlike GIFT (where round 1 is key-free), every PRESENT round's
+        S-box inputs are key-dependent because AddRoundKey precedes the
+        S-box layer.
+        """
+        if not 1 <= max_rounds <= PRESENT_ROUNDS:
+            raise ValueError(
+                f"max_rounds must be in [1, {PRESENT_ROUNDS}], got {max_rounds}"
+            )
+        state = plaintext
+        indices_by_round = []
+        for round_index in range(max_rounds):
+            state ^= self.round_keys[round_index]
+            indices_by_round.append(
+                [(state >> (4 * segment)) & 0xF for segment in range(16)]
+            )
+            state = _sbox_layer(state)
+            state = _p_layer(state)
+        return indices_by_round

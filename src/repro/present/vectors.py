@@ -1,0 +1,30 @@
+"""Official PRESENT-80 test vectors (Bogdanov et al., CHES 2007, App. I)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..gift.vectors import TestVector
+
+PRESENT80_VECTORS: Tuple[TestVector, ...] = (
+    TestVector(
+        key=0x00000000000000000000,
+        plaintext=0x0000000000000000,
+        ciphertext=0x5579C1387B228445,
+    ),
+    TestVector(
+        key=0x00000000000000000000,
+        plaintext=0xFFFFFFFFFFFFFFFF,
+        ciphertext=0xA112FFC72F68417B,
+    ),
+    TestVector(
+        key=0xFFFFFFFFFFFFFFFFFFFF,
+        plaintext=0x0000000000000000,
+        ciphertext=0xE72C46C0F5945049,
+    ),
+    TestVector(
+        key=0xFFFFFFFFFFFFFFFFFFFF,
+        plaintext=0xFFFFFFFFFFFFFFFF,
+        ciphertext=0x3333DCD3213210D2,
+    ),
+)

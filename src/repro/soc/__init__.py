@@ -1,0 +1,47 @@
+"""SoC platform simulation: event kernel, scheduler, bus, mesh NoC, and
+the two Table II platforms (single-core SoC and MPSoC)."""
+
+from .bus import BusLatencyModel, SharedBus
+from .clock import PAPER_FREQUENCIES_HZ, ClockDomain
+from .events import EventHandle, Simulator
+from .noc import (
+    Coordinate,
+    MeshNoc,
+    MeshTopology,
+    NocLatencyModel,
+    Packet,
+)
+from .noc_sim import (
+    ContentionReport,
+    PacketNoc,
+    TransferRecord,
+    measure_probe_contention,
+)
+from .platform import MPSoC, ProbeReport, SingleCoreSoC
+from .processor import CoreTimingModel
+from .scheduler import PAPER_QUANTUM_S, RoundRobinScheduler, Task
+
+__all__ = [
+    "BusLatencyModel",
+    "SharedBus",
+    "PAPER_FREQUENCIES_HZ",
+    "ClockDomain",
+    "EventHandle",
+    "Simulator",
+    "Coordinate",
+    "MeshNoc",
+    "MeshTopology",
+    "NocLatencyModel",
+    "Packet",
+    "ContentionReport",
+    "PacketNoc",
+    "TransferRecord",
+    "measure_probe_contention",
+    "MPSoC",
+    "ProbeReport",
+    "SingleCoreSoC",
+    "CoreTimingModel",
+    "PAPER_QUANTUM_S",
+    "RoundRobinScheduler",
+    "Task",
+]

@@ -1,0 +1,61 @@
+"""Shared-bus interconnect for the single-processor SoC.
+
+The paper's first platform is "a processor, a shared cache L1, I/O
+peripherals (i.e., UART serial) and a bus as communication structure".
+With one master the bus adds a fixed arbitration/transfer cost per
+transaction; the model still tracks per-master contention so tests can
+exercise multi-master behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .clock import ClockDomain
+
+
+@dataclass(frozen=True)
+class BusLatencyModel:
+    """Cycle costs of one bus transaction."""
+
+    arbitration_cycles: int = 1
+    transfer_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arbitration_cycles < 0 or self.transfer_cycles < 0:
+            raise ValueError("bus latencies must be non-negative")
+
+    @property
+    def transaction_cycles(self) -> int:
+        """Total cycles of an uncontended transaction."""
+        return self.arbitration_cycles + self.transfer_cycles
+
+
+class SharedBus:
+    """A single shared bus with per-master accounting."""
+
+    def __init__(self, latency: BusLatencyModel = BusLatencyModel()) -> None:
+        self.latency = latency
+        self.transactions: Dict[str, int] = {}
+
+    def access_cycles(self, master: str, pending_masters: int = 0) -> int:
+        """Cycles for one transaction by ``master``.
+
+        ``pending_masters`` models how many other masters are queued
+        ahead; each adds one full transaction of waiting.
+        """
+        if pending_masters < 0:
+            raise ValueError(
+                f"pending_masters must be non-negative, got {pending_masters}"
+            )
+        self.transactions[master] = self.transactions.get(master, 0) + 1
+        waiting = pending_masters * self.latency.transaction_cycles
+        return waiting + self.latency.transaction_cycles
+
+    def access_seconds(self, master: str, clock: ClockDomain,
+                       pending_masters: int = 0) -> float:
+        """Wall-clock time of one transaction."""
+        return clock.cycles_to_seconds(
+            self.access_cycles(master, pending_masters)
+        )

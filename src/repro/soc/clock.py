@@ -1,0 +1,45 @@
+"""Clock-domain arithmetic for the SoC platform models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The operating points evaluated in the paper's Table II.
+PAPER_FREQUENCIES_HZ = (10_000_000, 25_000_000, 50_000_000)
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A clock frequency with cycle/second conversions."""
+
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(
+                f"frequency must be positive, got {self.frequency_hz}"
+            )
+
+    @property
+    def period_s(self) -> float:
+        """Length of one clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into seconds."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds into (fractional) cycles."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return seconds * self.frequency_hz
+
+    def describe(self) -> str:
+        """Human-readable frequency, e.g. ``"25 MHz"``."""
+        mhz = self.frequency_hz / 1e6
+        if mhz >= 1 and mhz == int(mhz):
+            return f"{int(mhz)} MHz"
+        return f"{self.frequency_hz:g} Hz"

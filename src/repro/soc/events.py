@@ -1,0 +1,109 @@
+"""A minimal discrete-event simulation kernel.
+
+The Table II experiments need wall-clock bookkeeping: when does the
+RTOS preempt the victim, when does a NoC packet arrive, which cipher
+round is in flight when the probe lands.  This kernel provides ordered
+event dispatch with deterministic tie-breaking (insertion order), which
+is all the platform models require.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time in seconds."""
+        return self._event.time
+
+
+class Simulator:
+    """Discrete-event scheduler with seconds as the time unit."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.events_dispatched = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]
+                 ) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        event = _ScheduledEvent(
+            time=self.now + delay,
+            sequence=next(self._sequence),
+            action=action,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, action: Callable[[], None]
+                    ) -> EventHandle:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < {self.now})"
+            )
+        return self.schedule(time - self.now, action)
+
+    def step(self) -> bool:
+        """Dispatch the next event; return False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_dispatched += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 1_000_000) -> None:
+        """Dispatch events until the queue drains or ``until`` is reached."""
+        dispatched = 0
+        while self._queue:
+            if until is not None and self._peek_time() > until:
+                self.now = until
+                return
+            if dispatched >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events — "
+                    f"probable event loop"
+                )
+            self.step()
+            dispatched += 1
+
+    def _peek_time(self) -> float:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else float("inf")
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)

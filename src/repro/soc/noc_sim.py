@@ -1,0 +1,243 @@
+"""Packet-level mesh-NoC simulation with link contention.
+
+The latency model in :mod:`repro.soc.noc` gives closed-form transfer
+times for an idle network; this module simulates actual packets on the
+discrete-event kernel — store-and-forward routers, one packet per link
+at a time, FIFO arbitration per link — so experiments can ask what the
+paper's Section IV-B3 numbers look like *under load*: the attacker's
+probe packets share links with the victim tile's own memory traffic.
+
+The model is deliberately minimal (single-flit packets, infinite router
+queues) but honest about the one effect that matters here: serialised
+link occupancy delays probes, shifting the earliest probed round of
+Table II when traffic becomes extreme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .clock import ClockDomain
+from .events import Simulator
+from .noc import Coordinate, MeshTopology, NocLatencyModel
+
+#: A directed link between adjacent tiles.
+Link = Tuple[Coordinate, Coordinate]
+
+
+@dataclass
+class TransferRecord:
+    """Bookkeeping for one completed packet transfer."""
+
+    source: Coordinate
+    destination: Coordinate
+    injected_at: float
+    delivered_at: float
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency in seconds."""
+        return self.delivered_at - self.injected_at
+
+
+@dataclass
+class _LinkState:
+    free_at: float = 0.0
+    packets_carried: int = 0
+
+
+class PacketNoc:
+    """Store-and-forward packet transport over a mesh, on the event kernel.
+
+    Each hop occupies its link for ``link_cycles + router_cycles`` of
+    the clock; a busy link queues the packet (FIFO by arrival time).
+    """
+
+    def __init__(self, simulator: Simulator, clock: ClockDomain,
+                 topology: MeshTopology = MeshTopology(4, 2),
+                 latency: NocLatencyModel = NocLatencyModel()) -> None:
+        self.simulator = simulator
+        self.clock = clock
+        self.topology = topology
+        self.latency = latency
+        self._links: Dict[Link, _LinkState] = {}
+        self._service_free_at: Dict[Coordinate, float] = {}
+        self.transfers: List[TransferRecord] = []
+
+    def _hop_duration(self) -> float:
+        return self.clock.cycles_to_seconds(
+            self.latency.link_cycles + self.latency.router_cycles
+        )
+
+    def _link(self, link: Link) -> _LinkState:
+        if link not in self._links:
+            self._links[link] = _LinkState()
+        return self._links[link]
+
+    def send(self, source: Coordinate, destination: Coordinate,
+             on_delivered: Optional[Callable[[TransferRecord], None]] = None
+             ) -> None:
+        """Inject one packet now; ``on_delivered`` fires at arrival."""
+        route = self.topology.xy_route(source, destination)
+        injected_at = self.simulator.now
+        injection = self.clock.cycles_to_seconds(
+            self.latency.injection_cycles
+        )
+
+        def traverse(hop_index: int) -> None:
+            if hop_index >= len(route) - 1:
+                record = TransferRecord(
+                    source=source,
+                    destination=destination,
+                    injected_at=injected_at,
+                    delivered_at=self.simulator.now,
+                )
+                self.transfers.append(record)
+                if on_delivered is not None:
+                    on_delivered(record)
+                return
+            link = (route[hop_index], route[hop_index + 1])
+            state = self._link(link)
+            start = max(self.simulator.now, state.free_at)
+            finish = start + self._hop_duration()
+            state.free_at = finish
+            state.packets_carried += 1
+            self.simulator.schedule_at(
+                finish, lambda: traverse(hop_index + 1)
+            )
+
+        self.simulator.schedule(injection, lambda: traverse(0))
+
+    def request_response(self, source: Coordinate, destination: Coordinate,
+                         on_complete: Callable[[float], None]) -> None:
+        """A remote load: request packet there, service, response back.
+
+        The destination tile (the shared cache) serves one request at a
+        time — concurrent requestors queue, which is where victim memory
+        traffic and attacker probes actually contend under XY routing
+        (their link sets are disjoint for most placements).
+
+        ``on_complete`` receives the round-trip latency in seconds.
+        """
+        started = self.simulator.now
+        service_time = self.clock.cycles_to_seconds(
+            self.latency.response_cycles
+        )
+
+        def got_request(_: TransferRecord) -> None:
+            free_at = self._service_free_at.get(
+                destination, self.simulator.now
+            )
+            finish = max(self.simulator.now, free_at) + service_time
+            self._service_free_at[destination] = finish
+
+            def respond() -> None:
+                self.send(
+                    destination, source,
+                    on_delivered=lambda record: on_complete(
+                        record.delivered_at - started
+                    ),
+                )
+
+            self.simulator.schedule_at(finish, respond)
+
+        self.send(source, destination, on_delivered=got_request)
+
+    def link_utilisation(self) -> Dict[Link, int]:
+        """Packets carried per link so far."""
+        return {
+            link: state.packets_carried
+            for link, state in self._links.items()
+        }
+
+
+@dataclass
+class ContentionReport:
+    """Probe latency statistics under background traffic."""
+
+    traffic_packets_per_round_trip: float
+    idle_round_trip_s: float
+    mean_round_trip_s: float
+    worst_round_trip_s: float
+    probes_completed: int
+
+    @property
+    def slowdown(self) -> float:
+        """Mean slowdown factor relative to the idle network."""
+        return self.mean_round_trip_s / self.idle_round_trip_s
+
+
+def measure_probe_contention(clock: ClockDomain,
+                             attacker: Coordinate = (3, 1),
+                             cache: Coordinate = (1, 1),
+                             victim: Coordinate = (0, 0),
+                             traffic_interval_cycles: int = 0,
+                             probes: int = 64,
+                             topology: MeshTopology = MeshTopology(4, 2),
+                             latency: NocLatencyModel = NocLatencyModel()
+                             ) -> ContentionReport:
+    """Measure attacker probe round-trips while the victim streams.
+
+    ``traffic_interval_cycles`` is the victim's packet injection period
+    towards the shared-cache tile (0 = idle network).  The attacker
+    issues ``probes`` back-to-back remote loads, as its Flush+Reload
+    sweep does.
+    """
+    if probes < 1:
+        raise ValueError(f"probes must be positive, got {probes}")
+    simulator = Simulator()
+    noc = PacketNoc(simulator, clock, topology, latency)
+    latencies: List[float] = []
+
+    if traffic_interval_cycles > 0:
+        interval = clock.cycles_to_seconds(traffic_interval_cycles)
+
+        def inject_traffic() -> None:
+            # The victim's traffic is memory reads: it occupies the
+            # shared-cache service port, not just links.
+            noc.request_response(victim, cache, on_complete=lambda _: None)
+            simulator.schedule(interval, inject_traffic)
+
+        simulator.schedule(0.0, inject_traffic)
+
+    def issue_probe() -> None:
+        noc.request_response(
+            attacker, cache,
+            on_complete=lambda latency_s: (
+                latencies.append(latency_s),
+                issue_probe() if len(latencies) < probes else None,
+            ),
+        )
+
+    simulator.schedule(0.0, issue_probe)
+    # Generous horizon: traffic is unbounded, so run until enough
+    # probes completed rather than draining the queue.
+    horizon = clock.cycles_to_seconds(
+        latency.round_trip_cycles(6) * probes * 50 + 1_000_000
+    )
+    while len(latencies) < probes and simulator.step():
+        if simulator.now > horizon:
+            break
+    if len(latencies) < probes:
+        raise RuntimeError("probe stream starved by traffic")
+
+    hops = topology.hop_count(attacker, cache)
+    # The simulated packet path charges injection per packet (request
+    # and response), one hop-duration per link, plus service: that is
+    # the idle baseline the slowdown is measured against.
+    per_packet = (latency.injection_cycles
+                  + hops * (latency.link_cycles + latency.router_cycles))
+    idle = clock.cycles_to_seconds(2 * per_packet + latency.response_cycles)
+    if traffic_interval_cycles > 0:
+        round_trip_cycles = latency.round_trip_cycles(hops)
+        traffic_rate = round_trip_cycles / traffic_interval_cycles
+    else:
+        traffic_rate = 0.0
+    return ContentionReport(
+        traffic_packets_per_round_trip=traffic_rate,
+        idle_round_trip_s=idle,
+        mean_round_trip_s=sum(latencies) / len(latencies),
+        worst_round_trip_s=max(latencies),
+        probes_completed=len(latencies),
+    )

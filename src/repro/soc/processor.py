@@ -1,0 +1,86 @@
+"""Core timing model for the RISCY-based tiles.
+
+The paper's software GIFT on the RISCY core is slow in absolute terms:
+Section IV-B3 reports "the time between different rounds was about 1.2
+milliseconds" at 50 MHz, i.e. roughly 60,000 cycles per round (the
+deployed binary performs its table lookups through a shared-bus L1 with
+miss penalties, plus loop and I/O overhead).  The timing model is
+calibrated to that observation; EXPERIMENTS.md documents the
+calibration and its sensitivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .clock import ClockDomain
+
+
+@dataclass(frozen=True)
+class CoreTimingModel:
+    """Cycle costs of the victim and attacker software.
+
+    Attributes
+    ----------
+    cycles_per_round:
+        Cycles one GIFT round takes on the victim core (calibrated to
+        the paper's 1.2 ms @ 50 MHz).
+    setup_cycles:
+        Work the victim does between being scheduled and the first
+        round's first table access (argument marshalling, key-state
+        initialisation, reading the plaintext from the UART/bus).
+    context_switch_cycles:
+        RTOS context-switch cost.
+    probe_cycles_per_line:
+        Attacker cycles to flush+reload (or probe) one monitored line on
+        the local core.
+    """
+
+    cycles_per_round: int = 60_000
+    setup_cycles: int = 20_000
+    context_switch_cycles: int = 2_000
+    probe_cycles_per_line: int = 40
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_round <= 0:
+            raise ValueError("cycles_per_round must be positive")
+        if self.setup_cycles < 0 or self.context_switch_cycles < 0:
+            raise ValueError("overhead cycle counts must be non-negative")
+        if self.probe_cycles_per_line <= 0:
+            raise ValueError("probe_cycles_per_line must be positive")
+
+    def round_duration_s(self, clock: ClockDomain) -> float:
+        """Wall-clock duration of one cipher round."""
+        return clock.cycles_to_seconds(self.cycles_per_round)
+
+    def setup_duration_s(self, clock: ClockDomain) -> float:
+        """Wall-clock duration of the victim's pre-round setup."""
+        return clock.cycles_to_seconds(self.setup_cycles)
+
+    def context_switch_s(self, clock: ClockDomain) -> float:
+        """Wall-clock duration of one context switch."""
+        return clock.cycles_to_seconds(self.context_switch_cycles)
+
+    def probe_duration_s(self, clock: ClockDomain, lines: int) -> float:
+        """Wall-clock duration of probing ``lines`` monitored lines locally."""
+        if lines < 0:
+            raise ValueError(f"lines must be non-negative, got {lines}")
+        return clock.cycles_to_seconds(self.probe_cycles_per_line * lines)
+
+    def round_in_progress(self, clock: ClockDomain, elapsed_s: float) -> int:
+        """Which cipher round is executing ``elapsed_s`` after scheduling.
+
+        Rounds are 1-based; time before the first table access (setup)
+        counts as round 0.
+        """
+        if elapsed_s < 0:
+            raise ValueError(f"elapsed_s must be non-negative, got {elapsed_s}")
+        after_setup = elapsed_s - self.setup_duration_s(clock)
+        if after_setup < 0:
+            return 0
+        round_duration = self.round_duration_s(clock)
+        # A probe landing exactly on a boundary sees the completed round;
+        # the epsilon absorbs floating-point noise on exact boundaries.
+        rounds = after_setup / round_duration
+        return max(1, math.ceil(rounds - 1e-9))

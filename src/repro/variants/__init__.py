@@ -1,0 +1,27 @@
+"""Non-access-driven attack variants from the paper's taxonomy
+(Section I): trace-driven and time-driven realisations of GRINCH."""
+
+from .observations import (
+    WindowObservation,
+    encryption_latency,
+    hit_miss_trace,
+    observe_window,
+)
+from .time_driven import (
+    CandidateScore,
+    TimeDrivenAttack,
+    TimingSegmentRecovery,
+)
+from .trace_driven import TraceDrivenAttack, TraceSegmentRecovery
+
+__all__ = [
+    "WindowObservation",
+    "encryption_latency",
+    "hit_miss_trace",
+    "observe_window",
+    "CandidateScore",
+    "TimeDrivenAttack",
+    "TimingSegmentRecovery",
+    "TraceDrivenAttack",
+    "TraceSegmentRecovery",
+]

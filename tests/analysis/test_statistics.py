@@ -1,0 +1,79 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    Summary,
+    geometric_mean,
+    mean,
+    mean_confidence_interval,
+    median,
+    sample_stdev,
+)
+
+floats = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=50,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_median_odd_even(self):
+        assert median([5, 1, 3]) == 3
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_sample_stdev_known_value(self):
+        assert sample_stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            math.sqrt(32 / 7)
+        )
+
+    def test_stdev_of_singleton_is_zero(self):
+        assert sample_stdev([3]) == 0.0
+
+    def test_empty_inputs_raise(self):
+        for fn in (mean, median, geometric_mean):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_geometric_mean_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+
+class TestProperties:
+    @given(floats)
+    def test_mean_between_min_and_max(self, values):
+        assert min(values) <= mean(values) <= max(values)
+
+    @given(floats)
+    def test_median_between_min_and_max(self, values):
+        assert min(values) <= median(values) <= max(values)
+
+    @given(floats)
+    def test_ci_contains_mean(self, values):
+        low, high = mean_confidence_interval(values)
+        assert low <= mean(values) <= high
+
+
+class TestSummary:
+    def test_of_sequence(self):
+        summary = Summary.of([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.median == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Summary.of([])

@@ -1,0 +1,154 @@
+"""Tests for the analytic effort model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    absence_probability,
+    expected_encryptions_per_segment,
+    expected_first_round_effort,
+    expected_max_geometric,
+    flush_advantage,
+    growth_factor_per_round,
+    log_effort_slope,
+    monitored_lines,
+    practical_probing_round_limit,
+    visible_noise_accesses,
+)
+
+
+class TestMonitoredLines:
+    @pytest.mark.parametrize("line_words,expected",
+                             [(1, 16), (2, 8), (4, 4), (8, 2), (16, 1)])
+    def test_line_counts(self, line_words, expected):
+        assert monitored_lines(line_words) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monitored_lines(0)
+
+
+class TestVisibleWindow:
+    def test_flush_window(self):
+        assert visible_noise_accesses(1, use_flush=True) == 15
+        assert visible_noise_accesses(3, use_flush=True) == 47
+
+    def test_no_flush_adds_earlier_rounds(self):
+        assert visible_noise_accesses(1, use_flush=False) == 31
+        assert visible_noise_accesses(1, attacked_round=2,
+                                      use_flush=False) == 47
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            visible_noise_accesses(0)
+
+
+class TestAbsenceProbability:
+    def test_known_value(self):
+        assert absence_probability(16, 15) == pytest.approx((15 / 16) ** 15)
+
+    def test_single_line_never_absent(self):
+        assert absence_probability(1, 100) == 0.0
+
+    @given(st.integers(2, 16), st.integers(0, 200))
+    def test_in_unit_interval(self, lines, accesses):
+        p = absence_probability(lines, accesses)
+        assert 0.0 < p <= 1.0
+
+
+class TestExpectedMaxGeometric:
+    def test_single_variable_is_plain_geometric(self):
+        assert expected_max_geometric(1, 0.5) == pytest.approx(2.0)
+
+    def test_zero_count(self):
+        assert expected_max_geometric(0, 0.5) == 0.0
+
+    def test_zero_probability_diverges(self):
+        assert expected_max_geometric(3, 0.0) == float("inf")
+
+    def test_matches_monte_carlo(self):
+        """Closed form vs. direct simulation of the max of geometrics."""
+        rng = random.Random(5)
+        count, p = 5, 0.3
+        trials = 4000
+        total = 0
+        for _ in range(trials):
+            worst = 0
+            for _ in range(count):
+                draws = 1
+                while rng.random() >= p:
+                    draws += 1
+                worst = max(worst, draws)
+            total += worst
+        simulated = total / trials
+        predicted = expected_max_geometric(count, p)
+        assert simulated == pytest.approx(predicted, rel=0.05)
+
+    def test_stable_for_tiny_probabilities(self):
+        value = expected_max_geometric(1, 1e-24)
+        assert value == pytest.approx(1e24, rel=1e-6)
+
+
+class TestEffortModel:
+    def test_round1_effort_matches_paper_magnitude(self):
+        """Paper Fig. 3 / Table I: ~100 encryptions at probing round 1
+        with 1-word lines."""
+        effort = expected_first_round_effort(1, 1, use_flush=True)
+        assert 60 <= effort <= 200
+
+    def test_monotone_in_probing_round(self):
+        efforts = [
+            expected_first_round_effort(1, r) for r in range(1, 8)
+        ]
+        assert efforts == sorted(efforts)
+
+    def test_monotone_in_line_size(self):
+        efforts = [
+            expected_first_round_effort(lw, 2) for lw in (1, 2, 4, 8)
+        ]
+        assert efforts == sorted(efforts)
+
+    def test_growth_factor_matches_consecutive_ratio(self):
+        predicted = growth_factor_per_round(1)
+        ratio = (expected_first_round_effort(1, 7)
+                 / expected_first_round_effort(1, 6))
+        assert ratio == pytest.approx(predicted, rel=0.05)
+
+    def test_flush_advantage_about_the_dirty_round(self):
+        """Removing 16 dirty accesses should cost about
+        (16/15)^16 ~ 2.8x with 1-word lines."""
+        advantage = flush_advantage(3)
+        assert 2.0 <= advantage <= 3.5
+
+    def test_log_slope_positive(self):
+        assert log_effort_slope(1) > 0
+
+    def test_per_segment_effort_composes(self):
+        assert expected_first_round_effort(1, 1) == pytest.approx(
+            16 * expected_encryptions_per_segment(1, 1)
+        )
+
+
+class TestDropoutRule:
+    def test_one_word_lines_practical_through_round_8ish(self):
+        limit = practical_probing_round_limit(1)
+        assert 7 <= limit <= 10
+
+    def test_eight_word_lines_only_round_one(self):
+        limit = practical_probing_round_limit(8)
+        assert limit == 1
+
+    def test_matches_table1_dropout_pattern(self):
+        """The >1M cells of Table I: line size 2 drops out at round 5,
+        line 4 at round 3, line 8 at round 2."""
+        assert practical_probing_round_limit(2) == 4
+        assert practical_probing_round_limit(4) == 2
+        assert practical_probing_round_limit(8) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            practical_probing_round_limit(1, budget=0)

@@ -1,0 +1,72 @@
+"""Tests for the cache-geometry arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import PAPER_DEFAULT_GEOMETRY, CacheGeometry
+
+
+class TestPaperDefault:
+    def test_matches_section_iv_a(self):
+        # "16-way set-associative memory with 1024 cache lines where each
+        # cache line contains in the default case a single word of 8 bits".
+        geometry = PAPER_DEFAULT_GEOMETRY
+        assert geometry.total_lines == 1024
+        assert geometry.ways == 16
+        assert geometry.line_words == 1
+        assert geometry.word_bytes == 1
+        assert geometry.num_sets == 64
+        assert geometry.line_bytes == 1
+        assert geometry.capacity_bytes == 1024
+
+
+class TestDerivedValues:
+    @pytest.mark.parametrize("line_words,expected_bytes",
+                             [(1, 1), (2, 2), (4, 4), (8, 8)])
+    def test_table1_sweep_line_sizes(self, line_words, expected_bytes):
+        assert CacheGeometry(line_words=line_words).line_bytes \
+            == expected_bytes
+
+    def test_set_and_tag_partition_the_line_number(self):
+        geometry = CacheGeometry()
+        for address in (0, 1, 63, 64, 4096, 123456):
+            line = geometry.line_of(address)
+            assert geometry.set_of(address) == line % 64
+            assert geometry.tag_of(address) == line // 64
+
+    def test_line_of_strips_offset(self):
+        geometry = CacheGeometry(line_words=8)
+        assert geometry.line_of(0) == geometry.line_of(7)
+        assert geometry.line_of(7) != geometry.line_of(8)
+
+    @given(st.integers(min_value=0, max_value=1 << 32))
+    def test_same_line_same_set(self, address):
+        geometry = CacheGeometry(line_words=4)
+        base = (address // geometry.line_bytes) * geometry.line_bytes
+        for offset in range(geometry.line_bytes):
+            assert geometry.set_of(base + offset) == geometry.set_of(base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("total_lines", 0), ("total_lines", 1000),
+        ("ways", 3), ("line_words", 0), ("word_bytes", 5),
+    ])
+    def test_rejects_non_powers_of_two(self, field, value):
+        with pytest.raises(ValueError):
+            CacheGeometry(**{field: value})
+
+    def test_rejects_ways_above_line_count(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(total_lines=16, ways=32)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            CacheGeometry().line_of(-1)
+
+    def test_geometry_is_hashable_and_frozen(self):
+        geometry = CacheGeometry()
+        assert hash(geometry) == hash(CacheGeometry())
+        with pytest.raises(Exception):
+            geometry.ways = 8

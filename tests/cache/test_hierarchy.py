@@ -1,0 +1,54 @@
+"""Tests for the timed memory hierarchy."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import (
+    AccessResult,
+    MemoryHierarchy,
+    MemoryLatencies,
+)
+
+
+class TestTimedAccess:
+    def test_miss_then_hit_latencies(self):
+        memory = MemoryHierarchy()
+        first = memory.access(0x1000)
+        second = memory.access(0x1000)
+        assert first == AccessResult(hit=False, cycles=10)
+        assert second == AccessResult(hit=True, cycles=1)
+
+    def test_total_cycles_accumulate(self):
+        memory = MemoryHierarchy()
+        memory.access(0)
+        memory.access(0)
+        memory.access(64)
+        assert memory.total_cycles == 10 + 1 + 10
+
+    def test_custom_latencies(self):
+        latencies = MemoryLatencies(l1_hit_cycles=2, l1_miss_cycles=50)
+        memory = MemoryHierarchy(latencies=latencies)
+        assert memory.access(0).cycles == 50
+        assert memory.access(0).cycles == 2
+
+    def test_flush_costs(self):
+        memory = MemoryHierarchy()
+        memory.access(0)
+        assert memory.flush_line(0) == 1
+        assert memory.flush_all() == 4
+        assert memory.total_cycles == 10 + 1 + 4
+
+    def test_flush_line_invalidates(self):
+        memory = MemoryHierarchy()
+        memory.access(0)
+        memory.flush_line(0)
+        assert memory.access(0).hit is False
+
+    def test_geometry_passthrough(self):
+        geometry = CacheGeometry(line_words=4)
+        memory = MemoryHierarchy(geometry=geometry)
+        assert memory.geometry is geometry
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            MemoryLatencies(l1_hit_cycles=-1)

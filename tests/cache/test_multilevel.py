@@ -1,0 +1,132 @@
+"""Tests for the two-level (private L1 + shared L2) hierarchy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.multilevel import (
+    InclusionPolicy,
+    MemoryLevel,
+    TwoLevelHierarchy,
+)
+
+
+def _inclusive():
+    return TwoLevelHierarchy(inclusion=InclusionPolicy.INCLUSIVE)
+
+
+def _exclusive():
+    return TwoLevelHierarchy(inclusion=InclusionPolicy.EXCLUSIVE)
+
+
+class TestBasicFlow:
+    def test_miss_then_l1_hit(self):
+        hierarchy = _inclusive()
+        assert hierarchy.access(0, 0x100) is MemoryLevel.MEMORY
+        assert hierarchy.access(0, 0x100) is MemoryLevel.L1
+
+    def test_cross_core_sharing_through_l2_inclusive(self):
+        hierarchy = _inclusive()
+        hierarchy.access(0, 0x100)
+        # Other core misses its own L1 but hits the shared L2.
+        assert hierarchy.access(1, 0x100) is MemoryLevel.L2
+
+    def test_exclusive_l2_does_not_hold_fresh_fills(self):
+        hierarchy = _exclusive()
+        hierarchy.access(0, 0x100)
+        assert not hierarchy.is_resident_l2(0x100)
+        # The other core must go to memory.
+        assert hierarchy.access(1, 0x100) is MemoryLevel.MEMORY
+
+    def test_exclusive_l2_receives_l1_victims(self):
+        geometry = CacheGeometry(total_lines=4, ways=2)
+        hierarchy = TwoLevelHierarchy(
+            l1_geometry=geometry,
+            l2_geometry=CacheGeometry(total_lines=64, ways=8),
+            inclusion=InclusionPolicy.EXCLUSIVE,
+        )
+        sets = geometry.num_sets
+        # Fill set 0's two ways, then overflow it.
+        for tag in range(3):
+            hierarchy.access(0, tag * sets * geometry.line_bytes)
+        # Tag 0 was evicted from L1 and must now live in L2.
+        assert hierarchy.is_resident_l2(0)
+        assert hierarchy.access(0, 0) is MemoryLevel.L2
+
+    def test_stats_accumulate(self):
+        hierarchy = _inclusive()
+        hierarchy.access(0, 0)
+        hierarchy.access(0, 0)
+        hierarchy.access(1, 0)
+        assert hierarchy.stats.memory_fetches == 1
+        assert hierarchy.stats.l1_hits == 1
+        assert hierarchy.stats.l2_hits == 1
+
+
+class TestFlush:
+    def test_clflush_purges_every_level_and_core(self):
+        hierarchy = _inclusive()
+        hierarchy.access(0, 0x40)
+        hierarchy.access(1, 0x40)
+        hierarchy.flush_line(0x40)
+        assert not hierarchy.is_resident_l2(0x40)
+        assert not hierarchy.is_resident_l1(0, 0x40)
+        assert not hierarchy.is_resident_l1(1, 0x40)
+        assert hierarchy.access(0, 0x40) is MemoryLevel.MEMORY
+
+
+class TestInclusionInvariants:
+    @settings(max_examples=20)
+    @given(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1023)),
+        max_size=300,
+    ))
+    def test_inclusive_invariant_holds(self, accesses):
+        hierarchy = _inclusive()
+        for core, address in accesses:
+            hierarchy.access(core, address)
+        assert hierarchy.inclusion_holds()
+
+    @settings(max_examples=20)
+    @given(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1023)),
+        max_size=300,
+    ))
+    def test_exclusive_invariant_holds(self, accesses):
+        hierarchy = _exclusive()
+        for core, address in accesses:
+            hierarchy.access(core, address)
+        assert hierarchy.inclusion_holds()
+
+    def test_back_invalidation_on_l2_eviction(self):
+        # Tiny L2 so evictions are easy to force.
+        hierarchy = TwoLevelHierarchy(
+            l1_geometry=CacheGeometry(total_lines=64, ways=4),
+            l2_geometry=CacheGeometry(total_lines=2, ways=2),
+            inclusion=InclusionPolicy.INCLUSIVE,
+        )
+        hierarchy.access(0, 0)
+        hierarchy.access(0, 2)
+        hierarchy.access(0, 4)  # evicts line 0 from L2
+        assert not hierarchy.is_resident_l2(0)
+        assert not hierarchy.is_resident_l1(0, 0)  # back-invalidated
+
+
+class TestValidation:
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ValueError):
+            TwoLevelHierarchy(
+                l1_geometry=CacheGeometry(line_words=1),
+                l2_geometry=CacheGeometry(line_words=8),
+            )
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            TwoLevelHierarchy(cores=0)
+
+    def test_rejects_bad_core_index(self):
+        with pytest.raises(ValueError):
+            _inclusive().access(5, 0)

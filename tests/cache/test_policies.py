@@ -1,0 +1,95 @@
+"""Tests for the cache replacement policies."""
+
+import random
+
+import pytest
+
+from repro.cache.policies import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_access(way)
+        policy.on_access(0)  # 1 is now the oldest
+        assert policy.victim([True] * 4) == 1
+
+    def test_reaccess_refreshes(self):
+        policy = LruPolicy(3)
+        for way in (0, 1, 2, 0, 1):
+            policy.on_access(way)
+        assert policy.victim([True] * 3) == 2
+
+    def test_skips_unoccupied_ways(self):
+        policy = LruPolicy(3)
+        for way in (0, 1, 2):
+            policy.on_access(way)
+        assert policy.victim([False, True, True]) == 1
+
+    def test_invalidate_removes_from_order(self):
+        policy = LruPolicy(3)
+        for way in (0, 1, 2):
+            policy.on_access(way)
+        policy.on_invalidate(0)
+        assert policy.victim([True, True, True]) == 1
+
+    def test_victim_requires_occupied_ways(self):
+        with pytest.raises(RuntimeError):
+            LruPolicy(2).victim([True, True])
+
+
+class TestFifo:
+    def test_evicts_first_filled_even_after_reuse(self):
+        policy = FifoPolicy(3)
+        for way in (0, 1, 2):
+            policy.on_access(way)
+        policy.on_access(0)  # a re-reference must not refresh FIFO order
+        assert policy.victim([True] * 3) == 0
+
+    def test_invalidate_removes_from_queue(self):
+        policy = FifoPolicy(2)
+        policy.on_access(0)
+        policy.on_access(1)
+        policy.on_invalidate(0)
+        assert policy.victim([True, True]) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, random.Random(7))
+        b = RandomPolicy(8, random.Random(7))
+        occupied = [True] * 8
+        assert [a.victim(occupied) for _ in range(10)] == \
+            [b.victim(occupied) for _ in range(10)]
+
+    def test_only_picks_occupied(self):
+        policy = RandomPolicy(4, random.Random(1))
+        occupied = [False, True, False, True]
+        for _ in range(20):
+            assert policy.victim(occupied) in (1, 3)
+
+    def test_raises_on_empty_set(self):
+        with pytest.raises(RuntimeError):
+            RandomPolicy(2).victim([False, False])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy),
+    ])
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4)
+
+    def test_rejects_bad_way_count(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)

@@ -1,0 +1,158 @@
+"""Tests for the set-associative cache simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+
+small_geometry = CacheGeometry(total_lines=16, ways=4, line_words=1)
+
+
+class TestBasicResidency:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_is_resident_does_not_perturb(self):
+        cache = SetAssociativeCache()
+        assert cache.is_resident(0x1000) is False
+        assert cache.stats.accesses == 0
+        cache.access(0x1000)
+        assert cache.is_resident(0x1000) is True
+
+    def test_same_line_different_offsets_hit(self):
+        cache = SetAssociativeCache(CacheGeometry(line_words=8))
+        cache.access(0x1000)
+        assert cache.access(0x1007) is True
+        assert cache.access(0x1008) is False
+
+
+class TestEviction:
+    def test_lru_eviction_within_a_set(self):
+        cache = SetAssociativeCache(small_geometry)
+        sets = small_geometry.num_sets
+        # Fill the 4 ways of set 0 with distinct tags, then overflow.
+        addresses = [tag * sets for tag in range(5)]
+        for address in addresses[:4]:
+            cache.access(address)
+        cache.access(addresses[0])  # refresh tag 0 -> tag 1 is LRU
+        cache.access(addresses[4])  # evicts tag 1
+        assert cache.is_resident(addresses[1]) is False
+        assert cache.is_resident(addresses[0]) is True
+        assert cache.stats.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = SetAssociativeCache(small_geometry)
+        rng = random.Random(3)
+        for _ in range(500):
+            cache.access(rng.randrange(1 << 16))
+        assert cache.resident_count() <= small_geometry.total_lines
+        for set_index in range(small_geometry.num_sets):
+            assert cache.set_occupancy(set_index) <= small_geometry.ways
+
+
+class TestFlush:
+    def test_flush_line_removes_only_that_line(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        cache.access(0x1001)
+        assert cache.flush_line(0x1000) is True
+        assert cache.is_resident(0x1000) is False
+        assert cache.is_resident(0x1001) is True
+
+    def test_flush_missing_line_reports_false(self):
+        cache = SetAssociativeCache()
+        assert cache.flush_line(0x9999) is False
+
+    def test_flush_all_empties_cache(self):
+        cache = SetAssociativeCache()
+        for address in range(0, 256, 1):
+            cache.access(address)
+        cache.flush_all()
+        assert cache.resident_count() == 0
+        assert cache.access(0) is False
+
+    def test_flushed_way_is_refillable(self):
+        cache = SetAssociativeCache(small_geometry)
+        cache.access(0)
+        cache.flush_line(0)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+
+class TestStats:
+    def test_counters(self):
+        cache = SetAssociativeCache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_idle(self):
+        assert SetAssociativeCache().stats.hit_rate == 0.0
+
+    def test_replay_counts_hits(self):
+        cache = SetAssociativeCache()
+        # With 1-byte lines: miss, hit, miss, miss.
+        assert cache.replay([0, 0, 1, 64]) == 1
+
+
+class TestReplayDetail:
+    def test_replay_hit_count_exact(self):
+        cache = SetAssociativeCache()
+        hits = cache.replay([0, 0, 0, 64, 64])
+        assert hits == 3
+
+
+class TestInvariantsPropertyBased:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=4095), max_size=200))
+    def test_resident_iff_hit_on_reaccess(self, addresses):
+        cache = SetAssociativeCache(small_geometry)
+        for address in addresses:
+            cache.access(address)
+        for address in addresses[-10:]:
+            resident = cache.is_resident(address)
+            assert cache.access(address) == resident
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=4095), max_size=200))
+    def test_resident_lines_unique_and_bounded(self, addresses):
+        cache = SetAssociativeCache(small_geometry)
+        for address in addresses:
+            cache.access(address)
+        lines = cache.resident_lines()
+        assert len(lines) == len(set(lines))
+        assert len(lines) <= small_geometry.total_lines
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(min_value=0, max_value=1023), max_size=64))
+    def test_distinct_lines_below_capacity_all_fit(self, addresses):
+        # The paper-default cache holds 1024 lines; up to 64 distinct
+        # small addresses can never evict each other (one tag per set).
+        cache = SetAssociativeCache()
+        for address in addresses:
+            cache.access(address)
+        for address in addresses:
+            assert cache.is_resident(address)
+
+
+class TestValidation:
+    def test_set_occupancy_bounds(self):
+        cache = SetAssociativeCache(small_geometry)
+        with pytest.raises(ValueError):
+            cache.set_occupancy(small_geometry.num_sets)
+
+    def test_policy_choice(self):
+        cache = SetAssociativeCache(small_geometry, policy="fifo")
+        assert cache.policy_name == "fifo"
+        with pytest.raises(ValueError):
+            SetAssociativeCache(small_geometry, policy="bogus")

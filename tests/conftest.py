@@ -1,0 +1,41 @@
+"""Shared fixtures for the GRINCH reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import CacheGeometry
+from repro.core import AttackConfig
+from repro.gift import TracedGift64
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that draw random keys/blocks."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def random_key(rng):
+    """One random 128-bit master key."""
+    return rng.getrandbits(128)
+
+
+@pytest.fixture
+def victim(random_key):
+    """A traced GIFT-64 victim with a random key."""
+    return TracedGift64(random_key)
+
+
+@pytest.fixture
+def default_config():
+    """The paper-default attack configuration with a fixed seed."""
+    return AttackConfig(seed=1234)
+
+
+@pytest.fixture
+def wide_line_geometry():
+    """A 2-word-line geometry (first Table I sweep step)."""
+    return CacheGeometry(line_words=2)

@@ -1,0 +1,97 @@
+"""Property-based end-to-end invariants of the GRINCH attack."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attack import GrinchAttack
+from repro.core.config import AttackConfig
+from repro.gift.keyschedule import round_keys
+from repro.gift.lut import TracedGift64
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestRecoveryInvariants:
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(keys, st.integers(min_value=0, max_value=1 << 30))
+    def test_any_key_any_seed_recovers_exactly(self, key, seed):
+        """The headline property: for arbitrary keys and attacker
+        randomness, recovery is bit-exact."""
+        victim = TracedGift64(key)
+        config = AttackConfig(seed=seed, max_total_encryptions=None)
+        result = GrinchAttack(victim, config).recover_master_key()
+        assert result.master_key == key
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(keys)
+    def test_first_round_estimate_matches_schedule(self, key):
+        victim = TracedGift64(key)
+        config = AttackConfig(seed=1, max_total_encryptions=None)
+        outcome = GrinchAttack(victim, config).attack_first_round()
+        assert outcome.outcome.estimate.as_round_key() == \
+            round_keys(key, 1, width=64)[0]
+
+    def test_determinism_for_fixed_seed(self):
+        """Same victim + same seed => identical effort and transcript."""
+        key = random.Random(99).getrandbits(128)
+        counts = []
+        for _ in range(2):
+            victim = TracedGift64(key)
+            result = GrinchAttack(
+                victim, AttackConfig(seed=77)
+            ).recover_master_key()
+            counts.append(result.total_encryptions)
+        assert counts[0] == counts[1]
+
+    def test_different_seeds_vary_effort_not_result(self):
+        key = random.Random(98).getrandbits(128)
+        efforts = set()
+        for seed in range(4):
+            victim = TracedGift64(key)
+            result = GrinchAttack(
+                victim, AttackConfig(seed=seed)
+            ).recover_master_key()
+            assert result.master_key == key
+            efforts.add(result.total_encryptions)
+        assert len(efforts) > 1  # effort is stochastic
+
+    def test_structured_keys_are_no_easier_or_harder_to_get_right(self):
+        """Degenerate key patterns (repeated words, single bit) must
+        not break any bookkeeping edge case."""
+        patterns = [
+            0x0000_0000_0000_0000_0000_0000_0000_0001,
+            0x8000_0000_0000_0000_0000_0000_0000_0000,
+            0xAAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA,
+            0x0123_0123_0123_0123_0123_0123_0123_0123,
+            0xFFFF_0000_FFFF_0000_FFFF_0000_FFFF_0000,
+        ]
+        for key in patterns:
+            victim = TracedGift64(key)
+            result = GrinchAttack(
+                victim, AttackConfig(seed=5)
+            ).recover_master_key()
+            assert result.master_key == key
+
+    def test_encryption_accounting_is_consistent(self):
+        """Total = sum of per-round efforts + verification stage."""
+        key = random.Random(97).getrandbits(128)
+        victim = TracedGift64(key)
+        result = GrinchAttack(
+            victim, AttackConfig(seed=6)
+        ).recover_master_key()
+        per_round = sum(o.encryptions for o in result.rounds)
+        assert result.total_encryptions == \
+            per_round + result.verification_encryptions
+
+    def test_runner_and_attack_counters_agree(self):
+        key = random.Random(96).getrandbits(128)
+        victim = TracedGift64(key)
+        attack = GrinchAttack(victim, AttackConfig(seed=7))
+        result = attack.recover_master_key()
+        # known_pair() does not count as a probing encryption.
+        assert attack.runner.encryptions_run == result.total_encryptions

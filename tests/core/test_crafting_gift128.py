@@ -1,0 +1,74 @@
+"""Crafting soundness for GIFT-128 targets.
+
+Mirrors the GIFT-64 crafting tests: a crafted plaintext, encrypted
+under the true key, must make the monitored access hit exactly the
+predicted index — with the 128-bit layout (key bits on nibble offsets
+1/2, 32 segments).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crafting import PlaintextCrafter
+from repro.core.recover import expected_index
+from repro.core.target_bits import set_target_bits
+from repro.gift.cipher import Gift128
+from repro.gift.keyschedule import round_keys
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+def _target_index(key, plaintext, spec):
+    states = Gift128(key).round_states(plaintext, rounds=spec.round_index)
+    round_output = states[spec.round_index - 1].after_add_round_key
+    return (round_output >> (4 * spec.segment)) & 0xF
+
+
+class TestRoundOneCrafting128:
+    @settings(max_examples=8)
+    @given(keys, st.integers(min_value=0, max_value=31))
+    def test_pins_the_target_index(self, key, segment):
+        spec = set_target_bits(1, segment, width=128)
+        crafter = PlaintextCrafter(spec, [], random.Random(1))
+        u1, v1 = round_keys(key, 1, width=128)[0]
+        v_bit = (v1 >> segment) & 1
+        u_bit = (u1 >> segment) & 1
+        expected = expected_index(spec, v_bit, u_bit)
+        for plaintext in crafter.craft_many(4):
+            assert _target_index(key, plaintext, spec) == expected
+
+    def test_expected_index_places_keys_on_offsets_1_and_2(self):
+        spec = set_target_bits(1, 0, width=128)
+        index = expected_index(spec, v_bit=0, u_bit=1)
+        assert (index >> 1) & 1 == 1  # 1 XOR v(=0)
+        assert (index >> 2) & 1 == 0  # 1 XOR u(=1)
+
+
+class TestRoundTwoCrafting128:
+    @settings(max_examples=6)
+    @given(keys, st.integers(min_value=0, max_value=31))
+    def test_pins_round_two_targets(self, key, segment):
+        spec = set_target_bits(2, segment, width=128)
+        prior = round_keys(key, 1, width=128)
+        crafter = PlaintextCrafter(spec, prior, random.Random(2))
+        u2, v2 = round_keys(key, 2, width=128)[1]
+        expected = expected_index(
+            spec, (v2 >> segment) & 1, (u2 >> segment) & 1
+        )
+        for plaintext in crafter.craft_many(3):
+            assert _target_index(key, plaintext, spec) == expected
+
+    def test_wrong_prior_guess_breaks_the_pin(self):
+        key = random.Random(3).getrandbits(128)
+        spec = set_target_bits(2, 9, width=128)
+        u1, v1 = round_keys(key, 1, width=128)[0]
+        wrong_segment = spec.source_segments[0]
+        wrong_prior = [(u1, v1 ^ (1 << wrong_segment))]
+        crafter = PlaintextCrafter(spec, wrong_prior, random.Random(4))
+        indices = {
+            _target_index(key, plaintext, spec)
+            for plaintext in crafter.craft_many(60)
+        }
+        assert len(indices) > 1

@@ -1,0 +1,134 @@
+"""Tests for candidate elimination (Step 3) and key recovery (Step 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.eliminate import CandidateEliminator
+from repro.core.monitor import SboxMonitor
+from repro.core.recover import (
+    expected_index,
+    indices_consistent_with_prediction,
+    key_pairs_from_line,
+)
+from repro.core.target_bits import set_target_bits
+from repro.gift.lut import TableLayout
+
+
+class TestEliminator:
+    def test_intersection_shrinks_monotonically(self):
+        eliminator = CandidateEliminator(frozenset(range(8)))
+        eliminator.update({0, 1, 2, 3})
+        eliminator.update({1, 2, 3, 4})
+        assert eliminator.candidates == {1, 2, 3}
+
+    def test_convergence_detection(self):
+        eliminator = CandidateEliminator(frozenset(range(4)))
+        eliminator.update({2, 3})
+        assert not eliminator.converged
+        eliminator.update({2})
+        assert eliminator.converged
+        assert eliminator.resolved_line == 2
+
+    def test_contradiction_detection(self):
+        eliminator = CandidateEliminator(frozenset(range(4)))
+        eliminator.update({0, 1})
+        eliminator.update({2, 3})
+        assert eliminator.contradicted
+        assert not eliminator.converged
+
+    def test_resolved_line_requires_convergence(self):
+        eliminator = CandidateEliminator(frozenset(range(4)))
+        with pytest.raises(RuntimeError):
+            _ = eliminator.resolved_line
+
+    def test_reset_restores_universe(self):
+        eliminator = CandidateEliminator(frozenset(range(4)))
+        eliminator.update({1})
+        eliminator.reset()
+        assert eliminator.candidates == frozenset(range(4))
+        assert eliminator.updates == 0
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            CandidateEliminator(frozenset())
+
+    @given(st.lists(st.sets(st.integers(0, 15)), max_size=20))
+    def test_candidates_always_subset_of_universe(self, observations):
+        universe = frozenset(range(16))
+        eliminator = CandidateEliminator(universe)
+        for observed in observations:
+            eliminator.update(observed)
+            assert eliminator.candidates <= universe
+
+    def test_update_counter(self):
+        eliminator = CandidateEliminator(frozenset(range(4)))
+        eliminator.update({0})
+        eliminator.update({0})
+        assert eliminator.updates == 2
+
+
+def _monitor(line_words):
+    return SboxMonitor.build(TableLayout(),
+                             CacheGeometry(line_words=line_words))
+
+
+class TestExpectedIndex:
+    @pytest.mark.parametrize("v_bit", (0, 1))
+    @pytest.mark.parametrize("u_bit", (0, 1))
+    def test_low_bits_invert_key_bits(self, v_bit, u_bit):
+        spec = set_target_bits(1, 4)
+        index = expected_index(spec, v_bit, u_bit)
+        assert index & 1 == 1 ^ v_bit
+        assert (index >> 1) & 1 == 1 ^ u_bit
+        assert (index >> 2) & 0b11 == spec.predicted_high_bits
+
+    def test_rejects_non_bits(self):
+        spec = set_target_bits(1, 0)
+        with pytest.raises(ValueError):
+            expected_index(spec, 2, 0)
+
+
+class TestKeyPairsFromLine:
+    @pytest.mark.parametrize("line_words,expected_candidates",
+                             [(1, 1), (2, 2), (4, 4), (8, 4)])
+    def test_candidate_counts_match_section_iii_d(self, line_words,
+                                                  expected_candidates):
+        """"the maximum number of candidates is 4" — and with 1-word
+        lines the answer is unique."""
+        monitor = _monitor(line_words)
+        spec = set_target_bits(1, 2)
+        line = monitor.line_for_index(expected_index(spec, 0, 1))
+        pairs = key_pairs_from_line(spec, monitor, line)
+        assert len(pairs) == expected_candidates
+
+    @pytest.mark.parametrize("line_words", [1, 2, 4, 8])
+    @pytest.mark.parametrize("v_bit", (0, 1))
+    @pytest.mark.parametrize("u_bit", (0, 1))
+    def test_true_pair_always_among_candidates(self, line_words, v_bit,
+                                               u_bit):
+        monitor = _monitor(line_words)
+        spec = set_target_bits(1, 9)
+        line = monitor.line_for_index(expected_index(spec, v_bit, u_bit))
+        assert (v_bit, u_bit) in key_pairs_from_line(spec, monitor, line)
+
+    def test_wrong_line_yields_empty_with_unit_lines(self):
+        """With 1-word lines, a line whose high bits contradict the
+        prediction is impossible — the consistency check the hypothesis
+        pruning uses."""
+        monitor = _monitor(1)
+        spec = set_target_bits(1, 2)
+        true_index = expected_index(spec, 0, 0)
+        wrong_index = true_index ^ 0b0100  # flip predicted bit 2
+        line = monitor.line_for_index(wrong_index)
+        assert key_pairs_from_line(spec, monitor, line) == ()
+
+    def test_consistent_indices_filter(self):
+        monitor = _monitor(8)
+        spec = set_target_bits(1, 2)
+        line = monitor.line_for_index(expected_index(spec, 1, 1))
+        consistent = indices_consistent_with_prediction(spec, monitor, line)
+        assert len(consistent) == 4
+        for index in consistent:
+            assert (index >> 2) & 0b11 == spec.predicted_high_bits

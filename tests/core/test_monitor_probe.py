@@ -1,0 +1,164 @@
+"""Tests for the S-box monitor and the probing primitives."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.core.monitor import SboxMonitor
+from repro.core.probe import FlushReload, PrimeProbe, make_probe
+from repro.gift.lut import TableLayout
+
+
+def _monitor(line_words=1):
+    return SboxMonitor.build(TableLayout(), CacheGeometry(line_words=line_words))
+
+
+class TestSboxMonitor:
+    @pytest.mark.parametrize("line_words,expected_lines",
+                             [(1, 16), (2, 8), (4, 4), (8, 2)])
+    def test_line_counts_follow_geometry(self, line_words, expected_lines):
+        monitor = _monitor(line_words)
+        assert len(monitor.lines) == expected_lines
+        assert monitor.indices_per_line == 16 // expected_lines
+
+    def test_indices_by_line_partition(self):
+        monitor = _monitor(4)
+        covered = sorted(
+            index
+            for line in monitor.lines
+            for index in monitor.indices_for_line(line)
+        )
+        assert covered == list(range(16))
+
+    def test_line_for_index_consistent(self):
+        monitor = _monitor(2)
+        for index in range(16):
+            line = monitor.line_for_index(index)
+            assert index in monitor.indices_for_line(line)
+
+    def test_adjacent_indices_share_lines(self):
+        monitor = _monitor(2)
+        for even in range(0, 16, 2):
+            assert monitor.line_for_index(even) == \
+                monitor.line_for_index(even + 1)
+
+    def test_line_addresses_one_per_line(self):
+        monitor = _monitor(4)
+        addresses = monitor.line_addresses()
+        assert len(addresses) == 4
+        lines = {monitor.geometry.line_of(a) for a in addresses}
+        assert lines == set(monitor.lines)
+
+    def test_universe_is_frozen(self):
+        monitor = _monitor(1)
+        assert monitor.universe == frozenset(monitor.lines)
+
+    def test_validation(self):
+        monitor = _monitor(1)
+        with pytest.raises(ValueError):
+            monitor.line_for_index(16)
+        with pytest.raises(ValueError):
+            monitor.indices_for_line(-5)
+
+
+class TestFlushReload:
+    def test_observes_exactly_touched_lines(self):
+        monitor = _monitor(1)
+        probe = FlushReload(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        probe.reset(cache)
+        cache.access(monitor.layout.sbox_address(3))
+        cache.access(monitor.layout.sbox_address(9))
+        observed = probe.observe(cache)
+        assert observed == {
+            monitor.line_for_index(3), monitor.line_for_index(9)
+        }
+
+    def test_reset_clears_previous_observation(self):
+        monitor = _monitor(1)
+        probe = FlushReload(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        cache.access(monitor.layout.sbox_address(5))
+        probe.reset(cache)
+        assert probe.observe(cache) == frozenset()
+
+    def test_supports_mid_flush(self):
+        monitor = _monitor(1)
+        probe = FlushReload(monitor)
+        assert probe.supports_mid_flush
+        cache = SetAssociativeCache(monitor.geometry)
+        cache.access(monitor.layout.sbox_address(1))
+        probe.mid_flush(cache)
+        assert probe.observe(cache) == frozenset()
+
+    def test_line_granular_observation(self):
+        monitor = _monitor(4)
+        probe = FlushReload(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        probe.reset(cache)
+        cache.access(monitor.layout.sbox_address(0))
+        observed = probe.observe(cache)
+        # Index 0's whole line (indices 0-3) reads as touched.
+        assert observed == {monitor.line_for_index(0)}
+
+
+class TestPrimeProbe:
+    def test_detects_victim_touches_as_superset(self):
+        monitor = _monitor(1)
+        probe = PrimeProbe(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        probe.reset(cache)
+        cache.access(monitor.layout.sbox_address(7))
+        observed = probe.observe(cache)
+        assert monitor.line_for_index(7) in observed
+
+    def test_quiet_victim_yields_empty(self):
+        monitor = _monitor(1)
+        probe = PrimeProbe(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        probe.reset(cache)
+        assert probe.observe(cache) == frozenset()
+
+    def test_cannot_mid_flush(self):
+        monitor = _monitor(1)
+        probe = PrimeProbe(monitor)
+        assert not probe.supports_mid_flush
+        with pytest.raises(NotImplementedError):
+            probe.mid_flush(SetAssociativeCache(monitor.geometry))
+
+    def test_observe_reprimes_the_sets(self):
+        monitor = _monitor(1)
+        probe = PrimeProbe(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        probe.reset(cache)
+        cache.access(monitor.layout.sbox_address(2))
+        probe.observe(cache)
+        # After observe the attacker owns the sets again: a fresh
+        # observation with no victim activity must be empty.
+        assert probe.observe(cache) == frozenset()
+
+    def test_unrelated_set_collisions_are_false_positives(self):
+        """An access colliding in a monitored set (e.g. the PermBits
+        table) is indistinguishable from an S-box touch — the
+        set-granularity weakness of Prime+Probe."""
+        monitor = _monitor(1)
+        probe = PrimeProbe(monitor)
+        cache = SetAssociativeCache(monitor.geometry)
+        probe.reset(cache)
+        sbox_set = monitor.geometry.set_of(monitor.layout.sbox_address(0))
+        colliding = (0x100 * monitor.geometry.num_sets
+                     + sbox_set) * monitor.geometry.line_bytes
+        cache.access(colliding)
+        observed = probe.observe(cache)
+        assert monitor.line_for_index(0) in observed
+
+
+class TestFactory:
+    def test_builds_by_name(self):
+        monitor = _monitor(1)
+        assert isinstance(make_probe("flush_reload", monitor), FlushReload)
+        assert isinstance(make_probe("prime_probe", monitor), PrimeProbe)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_probe("evict_time", _monitor(1))

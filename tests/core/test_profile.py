@@ -1,0 +1,94 @@
+"""Tests for the width-specific attack profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import (
+    PROFILE_64,
+    PROFILE_128,
+    profile_for_width,
+)
+from repro.gift.keyschedule import round_keys
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestProfileFacts:
+    def test_gift64_profile(self):
+        assert PROFILE_64.segments == 16
+        assert PROFILE_64.key_offsets == (0, 1)
+        assert PROFILE_64.free_offsets == (2, 3)
+        assert PROFILE_64.full_key_rounds == 4
+        assert PROFILE_64.verification_round == 5
+        assert PROFILE_64.bits_per_round == 32
+
+    def test_gift128_profile(self):
+        assert PROFILE_128.segments == 32
+        assert PROFILE_128.key_offsets == (1, 2)
+        assert PROFILE_128.free_offsets == (0, 3)
+        assert PROFILE_128.full_key_rounds == 2
+        assert PROFILE_128.verification_round == 3
+        assert PROFILE_128.bits_per_round == 64
+
+    def test_lookup(self):
+        assert profile_for_width(64) is PROFILE_64
+        assert profile_for_width(128) is PROFILE_128
+        with pytest.raises(ValueError):
+            profile_for_width(96)
+
+
+class TestMasterKeyMapping:
+    @given(keys)
+    @settings(max_examples=20)
+    def test_gift64_assembly_roundtrip(self, key):
+        rks = round_keys(key, 4, width=64)
+        assert PROFILE_64.assemble_master_key(rks) == key
+
+    @given(keys)
+    @settings(max_examples=20)
+    def test_gift128_assembly_roundtrip(self, key):
+        """GIFT-128's two first round keys jointly hold the whole master
+        key — the structural reason GRINCH needs only two rounds there."""
+        rks = round_keys(key, 2, width=128)
+        assert PROFILE_128.assemble_master_key(rks) == key
+
+    @given(keys)
+    @settings(max_examples=20)
+    def test_mapping_matches_schedule_bits(self, key):
+        rks = round_keys(key, 2, width=128)
+        for round_index, (u, v) in enumerate(rks, start=1):
+            for segment in (0, 13, 31):
+                v_pos, u_pos = PROFILE_128.master_key_bits(
+                    round_index, segment
+                )
+                assert (v >> segment) & 1 == (key >> v_pos) & 1
+                assert (u >> segment) & 1 == (key >> u_pos) & 1
+
+    def test_mapping_bounds(self):
+        with pytest.raises(ValueError):
+            PROFILE_64.master_key_bits(5, 0)
+        with pytest.raises(ValueError):
+            PROFILE_128.master_key_bits(3, 0)
+        with pytest.raises(ValueError):
+            PROFILE_128.master_key_bits(1, 32)
+
+    def test_assembly_validates_count(self):
+        with pytest.raises(ValueError):
+            PROFILE_128.assemble_master_key([(0, 0)])
+
+
+class TestVerificationKey:
+    @given(keys)
+    @settings(max_examples=20)
+    def test_gift64_round5_prediction(self, key):
+        rks = round_keys(key, 5, width=64)
+        assert PROFILE_64.verification_key(rks[0]) == rks[4]
+
+    @given(keys)
+    @settings(max_examples=20)
+    def test_gift128_round3_prediction(self, key):
+        """RK3 of GIFT-128 is fully determined by RK1 — the verification
+        stage's foundation for the 128-bit variant."""
+        rks = round_keys(key, 3, width=128)
+        assert PROFILE_128.verification_key(rks[0]) == rks[2]

@@ -1,0 +1,112 @@
+"""Tests for countermeasure 2: the hardened UpdateKey."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attack import GrinchAttack
+from repro.core.config import AttackConfig
+from repro.core.errors import KeyVerificationFailed
+from repro.countermeasures.evaluation import evaluate_hardened_schedule
+from repro.countermeasures.hardened_schedule import (
+    HardenedKeyScheduleGift64,
+    hardened_round_keys,
+    whiten_word,
+)
+from repro.gift.cipher import Gift64
+from repro.gift.keyschedule import round_keys
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestWhitening:
+    @given(words, words)
+    def test_whitening_is_invertible_in_the_word(self, word, tweak):
+        # XOR structure: whiten(whiten(w, t) , t) == w.
+        assert whiten_word(whiten_word(word, tweak), tweak) == word
+
+    @given(words)
+    def test_zero_tweak_still_whitens(self, word):
+        # S(0) = 1 per nibble, so even a zero tweak changes the word —
+        # there is no weak "identity" tweak.
+        assert whiten_word(word, 0) == word ^ 0x1111
+
+    def test_rejects_oversized_inputs(self):
+        with pytest.raises(ValueError):
+            whiten_word(1 << 16, 0)
+
+
+class TestHardenedSchedule:
+    @given(keys)
+    @settings(max_examples=20)
+    def test_first_four_round_keys_differ_from_standard(self, key):
+        standard = round_keys(key, 4, width=64)
+        hardened = hardened_round_keys(key, 4)
+        for (su, sv), (hu, hv) in zip(standard, hardened):
+            assert (su, sv) != (hu, hv)
+
+    @given(keys)
+    @settings(max_examples=10)
+    def test_later_rounds_keep_the_standard_schedule(self, key):
+        standard = round_keys(key, 8, width=64)
+        hardened = hardened_round_keys(key, 8)
+        assert standard[4:] == hardened[4:]
+
+    def test_tweaks_use_not_yet_consumed_words(self):
+        """Round r <= 4 must be whitened with words the standard
+        schedule has not consumed by round r — "bits that were not used
+        yet"."""
+        # Round 1 consumes words k0/k1; its tweaks are k5/k4 (diagonal),
+        # which the standard schedule first consumes in round 3.
+        key = 0x7777_6666_5555_4444_3333_2222_1111_0000
+        standard_u1, standard_v1 = round_keys(key, 1, width=64)[0]
+        hardened_u1, hardened_v1 = hardened_round_keys(key, 1)[0]
+        assert hardened_u1 == whiten_word(standard_u1, 0x5555)
+        assert hardened_v1 == whiten_word(standard_v1, 0x4444)
+
+
+class TestHardenedVictim:
+    @settings(max_examples=10)
+    @given(keys, st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_encrypt_decrypt_roundtrip(self, key, plaintext):
+        victim = HardenedKeyScheduleGift64(key)
+        assert victim.decrypt(victim.encrypt(plaintext)) == plaintext
+
+    def test_not_standard_gift(self):
+        key = random.Random(3).getrandbits(128)
+        assert HardenedKeyScheduleGift64(key).encrypt(0) != \
+            Gift64(key).encrypt(0)
+
+
+class TestAttackDefeat:
+    def test_grinch_fails_key_verification(self, random_key):
+        """The channel still leaks the *effective* round keys, but they
+        no longer concatenate into the master key — the attack's final
+        verification must fail."""
+        victim = HardenedKeyScheduleGift64(random_key)
+        attack = GrinchAttack(victim, AttackConfig(seed=8))
+        with pytest.raises(KeyVerificationFailed):
+            attack.recover_master_key()
+
+    def test_leak_persists_but_attack_is_defeated(self, random_key):
+        report = evaluate_hardened_schedule(random_key, seed=8,
+                                            encryptions=100)
+        assert report.attack_defeated
+        assert report.protected_leakage.leaks  # channel NOT removed
+        assert report.failure_mode == "KeyVerificationFailed"
+
+    def test_grinch_still_recovers_effective_round_one_key(self,
+                                                           random_key):
+        """Honesty check mirroring the paper's caveat: the countermeasure
+        protects the *master key reconstruction*, not the access
+        channel.  The effective (whitened) round-1 key is still fully
+        recoverable."""
+        victim = HardenedKeyScheduleGift64(random_key)
+        attack = GrinchAttack(victim, AttackConfig(seed=9))
+        outcome = attack.attack_first_round()
+        assert outcome.recovered_bits == 32
+        recovered = outcome.outcome.estimate.as_round_key()
+        assert recovered == hardened_round_keys(random_key, 1)[0]

@@ -1,0 +1,106 @@
+"""Tests for countermeasure 1: the reshaped 8x8-bit S-box table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.countermeasures.evaluation import (
+    evaluate_reshaped_sbox,
+    profile_leakage,
+)
+from repro.countermeasures.reshaped_sbox import (
+    RECOMMENDED_GEOMETRY,
+    RESHAPED_ROWS,
+    RESHAPED_SBOX_ROWS,
+    ReshapedSboxGift64,
+    reshaped_lookup,
+)
+from repro.gift.cipher import Gift64
+from repro.gift.sbox import GIFT_SBOX
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestPackedTable:
+    def test_eight_rows(self):
+        assert len(RESHAPED_SBOX_ROWS) == RESHAPED_ROWS == 8
+
+    def test_rows_pack_two_entries(self):
+        for row in range(8):
+            packed = RESHAPED_SBOX_ROWS[row]
+            assert packed & 0xF == GIFT_SBOX[2 * row]
+            assert packed >> 4 == GIFT_SBOX[2 * row + 1]
+
+    @pytest.mark.parametrize("index", range(16))
+    def test_lookup_decodes_correctly(self, index):
+        assert reshaped_lookup(index) == GIFT_SBOX[index]
+
+    def test_lookup_bounds(self):
+        with pytest.raises(ValueError):
+            reshaped_lookup(16)
+
+
+class TestFunctionalEquivalence:
+    @settings(max_examples=15)
+    @given(keys, st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_ciphertexts_unchanged(self, key, plaintext):
+        """The countermeasure only changes the memory layout, never the
+        cipher output."""
+        assert ReshapedSboxGift64(key).encrypt(plaintext) == \
+            Gift64(key).encrypt(plaintext)
+
+
+class TestAddressFootprint:
+    def test_all_accesses_within_eight_bytes(self):
+        victim = ReshapedSboxGift64(random.Random(1).getrandbits(128))
+        trace = victim.encrypt_traced(0x1234567890ABCDEF, max_rounds=4)
+        sbox_addresses = {
+            a.address for a in trace if a.table == "sbox"
+        }
+        base = victim.layout.sbox_base
+        assert sbox_addresses <= set(range(base, base + 8))
+
+    def test_single_line_under_recommended_geometry(self):
+        assert RECOMMENDED_GEOMETRY.line_words == 8
+        victim = ReshapedSboxGift64(0)
+        lines = {
+            RECOMMENDED_GEOMETRY.line_of(a)
+            for a in victim.table_addresses()
+        }
+        assert len(lines) == 1
+
+    def test_low_index_bit_never_reaches_the_address(self):
+        victim = ReshapedSboxGift64(0)
+        assert victim.sbox_row_address(6) == victim.sbox_row_address(7)
+        assert victim.sbox_row_address(6) != victim.sbox_row_address(8)
+
+
+class TestChannelElimination:
+    def test_no_varying_lines_under_recommended_geometry(self, random_key):
+        summary = profile_leakage(
+            ReshapedSboxGift64(random_key), RECOMMENDED_GEOMETRY,
+            encryptions=100, seed=4,
+        )
+        assert summary.monitored_lines == 1
+        assert not summary.leaks
+        assert summary.distinct_observations == 1
+
+    def test_unprotected_baseline_does_leak(self, random_key):
+        from repro.gift.lut import TracedGift64
+        summary = profile_leakage(
+            TracedGift64(random_key), CacheGeometry(),
+            encryptions=100, seed=4,
+        )
+        assert summary.leaks
+
+    def test_full_evaluation_defeats_the_attack(self, random_key):
+        report = evaluate_reshaped_sbox(random_key, seed=3,
+                                        encryptions=100)
+        assert report.attack_defeated
+        assert not report.recovered_key_matches
+        assert report.baseline_leakage.leaks
+        assert not report.protected_leakage.leaks
+        assert report.failure_mode is not None

@@ -1,0 +1,126 @@
+"""Tests for the reference GIFT-64/128 implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gift.cipher import Gift64, Gift128, RoundState, sub_cells
+from repro.gift.vectors import GIFT64_VECTORS, GIFT128_VECTORS
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+blocks64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+blocks128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("vector", GIFT64_VECTORS)
+    def test_gift64_official_vectors(self, vector):
+        cipher = Gift64(vector.key)
+        assert cipher.encrypt(vector.plaintext) == vector.ciphertext
+        assert cipher.decrypt(vector.ciphertext) == vector.plaintext
+
+    @pytest.mark.parametrize("vector", GIFT128_VECTORS)
+    def test_gift128_official_vectors(self, vector):
+        cipher = Gift128(vector.key)
+        assert cipher.encrypt(vector.plaintext) == vector.ciphertext
+        assert cipher.decrypt(vector.ciphertext) == vector.plaintext
+
+
+class TestRoundTrips:
+    @settings(max_examples=30)
+    @given(keys, blocks64)
+    def test_gift64_roundtrip(self, key, plaintext):
+        cipher = Gift64(key)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    @settings(max_examples=15)
+    @given(keys, blocks128)
+    def test_gift128_roundtrip(self, key, plaintext):
+        cipher = Gift128(key)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    @given(keys, blocks64)
+    @settings(max_examples=15)
+    def test_reduced_round_roundtrip(self, key, plaintext):
+        cipher = Gift64(key, rounds=5)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+
+class TestDiffusion:
+    def test_single_bit_flip_avalanches(self):
+        cipher = Gift64(0x0123456789ABCDEF0123456789ABCDEF)
+        base = cipher.encrypt(0)
+        flipped = cipher.encrypt(1)
+        differing = bin(base ^ flipped).count("1")
+        # Full-round GIFT should flip roughly half the bits.
+        assert 16 <= differing <= 48
+
+    def test_key_bit_flip_changes_ciphertext(self):
+        plaintext = 0xDEADBEEFCAFEF00D
+        a = Gift64(0).encrypt(plaintext)
+        b = Gift64(1).encrypt(plaintext)
+        assert a != b
+
+
+class TestRoundStates:
+    def test_states_chain_consistently(self):
+        cipher = Gift64(0xFEDCBA9876543210FEDCBA9876543210)
+        states = cipher.round_states(0x0123456789ABCDEF, rounds=6)
+        assert [s.round_index for s in states] == [1, 2, 3, 4, 5, 6]
+        for previous, current in zip(states, states[1:]):
+            assert current.before_sub_cells == previous.after_add_round_key
+
+    def test_first_state_starts_at_plaintext(self):
+        cipher = Gift64(7)
+        states = cipher.round_states(0xABCDEF, rounds=1)
+        assert states[0].before_sub_cells == 0xABCDEF
+
+    def test_sub_cells_stage_matches_helper(self):
+        cipher = Gift64(99)
+        state = cipher.round_states(0x1234, rounds=1)[0]
+        assert state.after_sub_cells == sub_cells(0x1234, 64)
+
+    def test_full_chain_reaches_ciphertext(self):
+        cipher = Gift64(0x42)
+        plaintext = 0x0F0F0F0F0F0F0F0F
+        states = cipher.round_states(plaintext)
+        assert states[-1].after_add_round_key == cipher.encrypt(plaintext)
+
+    def test_round_bounds(self):
+        cipher = Gift64(0)
+        with pytest.raises(ValueError):
+            cipher.round_states(0, rounds=0)
+        with pytest.raises(ValueError):
+            cipher.round_states(0, rounds=29)
+
+
+class TestSubCells:
+    @given(blocks64)
+    def test_inverse_round_trips(self, state):
+        assert sub_cells(sub_cells(state, 64), 64, inverse=True) == state
+
+    def test_applies_per_nibble(self):
+        # S(0) = 1 in every nibble position.
+        assert sub_cells(0, 64) == 0x1111111111111111
+
+
+class TestValidation:
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            Gift64(1 << 128)
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ValueError):
+            Gift64(0).encrypt(1 << 64)
+        with pytest.raises(ValueError):
+            Gift64(0).decrypt(-1)
+
+    def test_rejects_bad_round_count(self):
+        with pytest.raises(ValueError):
+            Gift64(0, rounds=0)
+
+    def test_round_state_dataclass_fields(self):
+        state = RoundState(1, 2, 3, 4, 5)
+        assert (state.round_index, state.before_sub_cells,
+                state.after_sub_cells, state.after_perm_bits,
+                state.after_add_round_key) == (1, 2, 3, 4, 5)

@@ -1,0 +1,62 @@
+"""Tests for the GIFT round-constant generator."""
+
+import pytest
+
+from repro.gift.constants import (
+    CONSTANT_BIT_POSITIONS,
+    MAX_ROUNDS,
+    ROUND_CONSTANTS,
+    constant_mask,
+    round_constant,
+)
+
+
+class TestLfsrSequence:
+    def test_first_constants_match_specification(self):
+        # Published sequence of GIFT round constants.
+        expected = (0x01, 0x03, 0x07, 0x0F, 0x1F, 0x3E, 0x3D, 0x3B,
+                    0x37, 0x2F, 0x1E, 0x3C, 0x39, 0x33, 0x27, 0x0E)
+        assert ROUND_CONSTANTS[:16] == expected
+
+    def test_constants_are_six_bit(self):
+        assert all(0 <= c < 64 for c in ROUND_CONSTANTS)
+
+    def test_never_repeats_within_gift128_rounds(self):
+        # The 6-bit LFSR has a long enough period to cover 40 rounds
+        # (GIFT-128) without repetition.
+        assert len(set(ROUND_CONSTANTS[:40])) == 40
+
+    def test_round_constant_is_one_based(self):
+        assert round_constant(1) == 0x01
+        assert round_constant(2) == 0x03
+
+    @pytest.mark.parametrize("bad", [0, -3, MAX_ROUNDS + 1])
+    def test_round_constant_bounds(self, bad):
+        with pytest.raises(ValueError):
+            round_constant(bad)
+
+
+class TestConstantMask:
+    def test_msb_always_set(self):
+        for width in (64, 128):
+            for r in (1, 5, 28):
+                assert constant_mask(r, width) >> (width - 1) == 1
+
+    def test_constant_bits_land_on_documented_positions(self):
+        mask = constant_mask(1, 64)  # constant 0b000001
+        assert mask == (1 << 63) | (1 << CONSTANT_BIT_POSITIONS[0])
+
+    def test_round_two_sets_two_low_positions(self):
+        mask = constant_mask(2, 64)  # constant 0b000011
+        expected = (1 << 63) | (1 << 3) | (1 << 7)
+        assert mask == expected
+
+    def test_positions_are_bit_three_of_segments(self):
+        # All constant positions sit on nibble bit 3 — never on the
+        # key-carrying bits 0/1, which the attack's bookkeeping assumes.
+        for position in CONSTANT_BIT_POSITIONS:
+            assert position % 4 == 3
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            constant_mask(1, 96)

@@ -1,0 +1,143 @@
+"""Tests for the traced table-based victim implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gift.cipher import Gift64, Gift128
+from repro.gift.lut import TableLayout, TracedGift64, TracedGift128
+from repro.gift.vectors import GIFT64_VECTORS
+
+keys = st.integers(min_value=0, max_value=(1 << 128) - 1)
+blocks64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestFunctionalEquivalence:
+    @settings(max_examples=25)
+    @given(keys, blocks64)
+    def test_matches_reference_gift64(self, key, plaintext):
+        assert TracedGift64(key).encrypt(plaintext) == \
+            Gift64(key).encrypt(plaintext)
+
+    @settings(max_examples=10)
+    @given(keys, st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_matches_reference_gift128(self, key, plaintext):
+        assert TracedGift128(key).encrypt(plaintext) == \
+            Gift128(key).encrypt(plaintext)
+
+    @pytest.mark.parametrize("vector", GIFT64_VECTORS)
+    def test_official_vectors(self, vector):
+        assert TracedGift64(vector.key).encrypt(vector.plaintext) == \
+            vector.ciphertext
+
+    @settings(max_examples=15)
+    @given(keys, blocks64)
+    def test_decrypt_roundtrip(self, key, plaintext):
+        victim = TracedGift64(key)
+        assert victim.decrypt(victim.encrypt(plaintext)) == plaintext
+
+
+class TestTraceStructure:
+    def test_access_counts_per_round(self, victim):
+        trace = victim.encrypt_traced(0x1234, max_rounds=3)
+        for round_index in (1, 2, 3):
+            accesses = [a for a in trace if a.round_index == round_index]
+            assert len([a for a in accesses if a.table == "sbox"]) == 16
+            assert len([a for a in accesses if a.table == "perm"]) == 16
+
+    def test_sbox_indices_match_state_nibbles(self, victim, random_key):
+        plaintext = 0xA5A5_5A5A_0FF0_3CC3
+        trace = victim.encrypt_traced(plaintext, max_rounds=4)
+        states = Gift64(random_key).round_states(plaintext, rounds=4)
+        for state in states:
+            observed = dict(trace.sbox_indices(state.round_index))
+            for segment in range(16):
+                expected = (state.before_sub_cells >> (4 * segment)) & 0xF
+                assert observed[segment] == expected
+
+    def test_addresses_follow_layout(self, victim):
+        trace = victim.encrypt_traced(0, max_rounds=1)
+        for access in trace:
+            if access.table == "sbox":
+                assert access.address == \
+                    victim.layout.sbox_address(access.index)
+
+    def test_segments_in_order(self, victim):
+        trace = victim.encrypt_traced(0, max_rounds=1)
+        sbox_accesses = [a for a in trace if a.table == "sbox"]
+        assert [a.segment for a in sbox_accesses] == list(range(16))
+
+    def test_max_rounds_truncates(self, victim):
+        trace = victim.encrypt_traced(0, max_rounds=2)
+        assert trace.rounds_traced == 2
+        assert len(trace) == 2 * 32
+
+    def test_full_trace_yields_real_ciphertext(self, victim):
+        plaintext = 0x123456789ABCDEF0
+        trace = victim.encrypt_traced(plaintext)
+        assert trace.ciphertext == victim.encrypt(plaintext)
+
+    def test_max_rounds_bounds(self, victim):
+        with pytest.raises(ValueError):
+            victim.encrypt_traced(0, max_rounds=0)
+        with pytest.raises(ValueError):
+            victim.encrypt_traced(0, max_rounds=29)
+
+
+class TestFastIndicesPath:
+    @settings(max_examples=20)
+    @given(keys, blocks64, st.integers(min_value=1, max_value=8))
+    def test_matches_traced_sbox_indices(self, key, plaintext, rounds):
+        """The hot path must agree with the fully traced path — the
+        attack's fast observations are built on this equality."""
+        victim = TracedGift64(key)
+        fast = victim.sbox_indices_by_round(plaintext, max_rounds=rounds)
+        trace = victim.encrypt_traced(plaintext, max_rounds=rounds)
+        for round_index in range(1, rounds + 1):
+            traced = [idx for _, idx in trace.sbox_indices(round_index)]
+            assert fast[round_index - 1] == traced
+
+    def test_validates_arguments(self, victim):
+        with pytest.raises(ValueError):
+            victim.sbox_indices_by_round(1 << 64, 1)
+        with pytest.raises(ValueError):
+            victim.sbox_indices_by_round(0, 0)
+
+
+class TestTableLayout:
+    def test_default_table_is_16_bytes(self):
+        layout = TableLayout()
+        addresses = layout.sbox_addresses()
+        assert len(addresses) == 16
+        assert addresses[-1] - addresses[0] == 15
+
+    def test_wider_entries_scale_addresses(self):
+        layout = TableLayout(sbox_entry_bytes=4, perm_base=0x4000)
+        assert layout.sbox_address(3) == layout.sbox_base + 12
+
+    def test_rejects_overlapping_tables(self):
+        with pytest.raises(ValueError):
+            TableLayout(sbox_base=0x2000 - 8, perm_base=0x2000)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            TableLayout(sbox_base=-1)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            TableLayout().sbox_address(16)
+
+    def test_perm_address_bounds(self):
+        layout = TableLayout()
+        with pytest.raises(ValueError):
+            layout.perm_address(0, 16, 16)
+        with pytest.raises(ValueError):
+            layout.perm_address(16, 0, 16)
+
+    def test_perm_addresses_disjoint_from_sbox(self):
+        layout = TableLayout()
+        sbox_range = set(layout.sbox_addresses())
+        for segment in range(16):
+            for nibble in range(16):
+                assert layout.perm_address(segment, nibble, 16) \
+                    not in sbox_range

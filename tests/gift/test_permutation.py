@@ -1,0 +1,103 @@
+"""Tests for the GIFT bit permutations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gift.permutation import (
+    PERM64,
+    PERM64_INV,
+    PERM128,
+    PERM128_INV,
+    inverse_permutation_for_width,
+    permutation_for_width,
+    permute,
+    permute64,
+    permute64_inv,
+    permute128,
+    permute128_inv,
+)
+
+
+class TestTables:
+    def test_perm64_matches_specification_prefix(self):
+        # First row of the published GIFT-64 permutation table.
+        expected_prefix = (0, 17, 34, 51, 48, 1, 18, 35,
+                           32, 49, 2, 19, 16, 33, 50, 3)
+        assert PERM64[:16] == expected_prefix
+
+    def test_perm64_is_a_bijection(self):
+        assert sorted(PERM64) == list(range(64))
+
+    def test_perm128_is_a_bijection(self):
+        assert sorted(PERM128) == list(range(128))
+
+    def test_inverses_invert(self):
+        for i in range(64):
+            assert PERM64_INV[PERM64[i]] == i
+        for i in range(128):
+            assert PERM128_INV[PERM128[i]] == i
+
+    @pytest.mark.parametrize("table", [PERM64, PERM128])
+    def test_preserves_bit_offset_mod_4(self, table):
+        """P(i) = i (mod 4) for both widths.
+
+        This is load-bearing for the attack: an S-box output bit ``b``
+        always lands on index bit ``b`` of the next round's segment, so
+        cache-line granularity masks *exactly* the low source bits.
+        """
+        for i, destination in enumerate(table):
+            assert destination % 4 == i % 4
+
+    @pytest.mark.parametrize("table", [PERM64, PERM128])
+    def test_spreads_segments(self, table):
+        """The four bits of every segment go to four distinct segments."""
+        for segment in range(len(table) // 4):
+            destinations = {
+                table[4 * segment + bit] // 4 for bit in range(4)
+            }
+            assert len(destinations) == 4
+
+
+class TestPermute:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_64_roundtrip(self, state):
+        assert permute64_inv(permute64(state)) == state
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_128_roundtrip(self, state):
+        assert permute128_inv(permute128(state)) == state
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_preserves_popcount(self, state):
+        assert bin(permute64(state)).count("1") == bin(state).count("1")
+
+    def test_single_bit_follows_table(self):
+        for i in range(64):
+            assert permute64(1 << i) == 1 << PERM64[i]
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_linearity_over_xor(self, a, b):
+        assert permute64(a ^ b) == permute64(a) ^ permute64(b)
+
+
+class TestWidthSelectors:
+    def test_width_lookup(self):
+        assert permutation_for_width(64) is PERM64
+        assert permutation_for_width(128) is PERM128
+        assert inverse_permutation_for_width(64) is PERM64_INV
+        assert inverse_permutation_for_width(128) is PERM128_INV
+
+    @pytest.mark.parametrize("width", [0, 32, 96, 256])
+    def test_rejects_undefined_widths(self, width):
+        with pytest.raises(ValueError):
+            permutation_for_width(width)
+        with pytest.raises(ValueError):
+            inverse_permutation_for_width(width)
+
+    def test_permute_generic_matches_specialised(self):
+        state = 0x0123456789ABCDEF
+        assert permute(state, PERM64) == permute64(state)

@@ -1,0 +1,124 @@
+"""Tests for the GIFT S-box and its attack-facing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gift.sbox import (
+    GIFT_SBOX,
+    GIFT_SBOX_INV,
+    SBOX_SIZE,
+    branch_number,
+    inputs_for_output_bits,
+    outputs_with_bit,
+    sbox,
+    sbox_inv,
+)
+from repro.present.cipher import PRESENT_SBOX
+
+
+class TestSboxTable:
+    def test_is_a_permutation_of_nibbles(self):
+        assert sorted(GIFT_SBOX) == list(range(16))
+
+    def test_matches_specification_values(self):
+        # Spot values from the GIFT specification (Table 1).
+        assert GIFT_SBOX[0x0] == 0x1
+        assert GIFT_SBOX[0x1] == 0xA
+        assert GIFT_SBOX[0xF] == 0xE
+        assert GIFT_SBOX[0xD] == 0x0
+
+    def test_inverse_table_inverts(self):
+        for value in range(16):
+            assert GIFT_SBOX_INV[GIFT_SBOX[value]] == value
+
+    def test_no_fixed_point_zero(self):
+        # S(0) != 0, a standard S-box hygiene property GIFT satisfies.
+        assert GIFT_SBOX[0] != 0
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_sbox_roundtrip(self, value):
+        assert sbox_inv(sbox(value)) == value
+        assert sbox(sbox_inv(value)) == value
+
+    @pytest.mark.parametrize("bad", [-1, 16, 255])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            sbox(bad)
+        with pytest.raises(ValueError):
+            sbox_inv(bad)
+
+
+class TestBranchNumber:
+    def test_gift_sbox_has_branch_number_two(self):
+        # The design point of GIFT: BN2 suffices (Section II).
+        assert branch_number(GIFT_SBOX) == 2
+
+    def test_present_sbox_has_branch_number_three(self):
+        # PRESENT pays for BN3 — the overhead GIFT avoids.
+        assert branch_number(PRESENT_SBOX) == 3
+
+    def test_identity_rejected_values(self):
+        with pytest.raises(ValueError):
+            branch_number(list(range(15)))
+        with pytest.raises(ValueError):
+            branch_number([0] * 16)
+
+
+class TestBitPreimageLists:
+    @pytest.mark.parametrize("bit", range(4))
+    @pytest.mark.parametrize("value", (0, 1))
+    def test_list_members_force_the_bit(self, bit, value):
+        for x in outputs_with_bit(bit, value):
+            assert (GIFT_SBOX[x] >> bit) & 1 == value
+
+    @pytest.mark.parametrize("bit", range(4))
+    def test_lists_partition_the_domain(self, bit):
+        ones = set(outputs_with_bit(bit, 1))
+        zeros = set(outputs_with_bit(bit, 0))
+        assert ones | zeros == set(range(16))
+        assert not ones & zeros
+
+    @pytest.mark.parametrize("bit", range(4))
+    def test_balancedness(self, bit):
+        # A bijective S-box has balanced component bits: 8 inputs each.
+        assert len(outputs_with_bit(bit, 1)) == 8
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            outputs_with_bit(4)
+        with pytest.raises(ValueError):
+            outputs_with_bit(0, 2)
+
+    def test_multi_constraint_intersection(self):
+        both = inputs_for_output_bits([(0, 1), (1, 1)])
+        assert both == [
+            x for x in range(16)
+            if GIFT_SBOX[x] & 1 and (GIFT_SBOX[x] >> 1) & 1
+        ]
+
+    def test_empty_constraints_return_everything(self):
+        assert inputs_for_output_bits([]) == list(range(SBOX_SIZE))
+
+    def test_contradictory_constraints_return_nothing(self):
+        assert inputs_for_output_bits([(2, 0), (2, 1)]) == []
+
+    def test_rejects_invalid_constraints(self):
+        with pytest.raises(ValueError):
+            inputs_for_output_bits([(5, 1)])
+        with pytest.raises(ValueError):
+            inputs_for_output_bits([(1, 3)])
+
+
+class TestAttackRelevantStructure:
+    @pytest.mark.parametrize("bit", range(4))
+    @pytest.mark.parametrize("error", (1, 2, 3))
+    def test_key_bit_errors_are_detectable(self, bit, error):
+        """A wrong guess of previous-round key bits XORs an error of 1,
+        2 or 3 into an S-box input nibble; the forced output bit must
+        *vary* over the preimage list for the hypothesis test to prune
+        it.  (Errors involving nibble bits 2/3 do have constant cosets,
+        but key bits only ever land on nibble bits 0/1.)"""
+        members = outputs_with_bit(bit, 1)
+        outputs = {(GIFT_SBOX[x ^ error] >> bit) & 1 for x in members}
+        assert len(outputs) == 2

@@ -1,0 +1,114 @@
+"""Tests for the PRESENT baseline cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gift.sbox import branch_number
+from repro.present.cipher import (
+    PLAYER,
+    PLAYER_INV,
+    PRESENT_ROUNDS,
+    PRESENT_SBOX,
+    Present,
+)
+from repro.present.vectors import PRESENT80_VECTORS
+
+blocks = st.integers(min_value=0, max_value=(1 << 64) - 1)
+keys80 = st.integers(min_value=0, max_value=(1 << 80) - 1)
+keys128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("vector", PRESENT80_VECTORS)
+    def test_official_vectors(self, vector):
+        cipher = Present(vector.key, key_bits=80)
+        assert cipher.encrypt(vector.plaintext) == vector.ciphertext
+        assert cipher.decrypt(vector.ciphertext) == vector.plaintext
+
+
+class TestRoundTrips:
+    @settings(max_examples=20)
+    @given(keys80, blocks)
+    def test_present80_roundtrip(self, key, plaintext):
+        cipher = Present(key, key_bits=80)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    @settings(max_examples=10)
+    @given(keys128, blocks)
+    def test_present128_roundtrip(self, key, plaintext):
+        cipher = Present(key, key_bits=128)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+
+class TestStructure:
+    def test_sbox_branch_number_is_three(self):
+        # The BN3 requirement PRESENT pays for and GIFT avoids
+        # (Section II of the GRINCH paper).
+        assert branch_number(PRESENT_SBOX) == 3
+
+    def test_player_is_a_bijection(self):
+        assert sorted(PLAYER) == list(range(64))
+
+    def test_player_inverse(self):
+        for i in range(64):
+            assert PLAYER_INV[PLAYER[i]] == i
+
+    def test_player_formula(self):
+        assert PLAYER[0] == 0
+        assert PLAYER[1] == 16
+        assert PLAYER[62] == 47
+        assert PLAYER[63] == 63
+
+    def test_round_count(self):
+        assert PRESENT_ROUNDS == 31
+
+    def test_key_schedule_produces_32_round_keys(self):
+        assert len(Present(0, 80).round_keys) == 32
+
+
+class TestAttackSurfaceContrast:
+    def test_round_one_sbox_inputs_are_key_dependent(self):
+        """Unlike GIFT (whose first round is key-free), PRESENT XORs the
+        round key *before* the S-box layer — the contrast discussed in
+        the paper's vulnerability analysis."""
+        plaintext = 0x0123456789ABCDEF
+        indices_a = Present(0, 80).sbox_indices_by_round(plaintext, 1)
+        indices_b = Present(1 << 79, 80).sbox_indices_by_round(plaintext, 1)
+        assert indices_a != indices_b
+
+    def test_gift_round_one_is_key_free_for_reference(self):
+        from repro.gift.lut import TracedGift64
+        plaintext = 0x0123456789ABCDEF
+        a = TracedGift64(0).sbox_indices_by_round(plaintext, 1)
+        b = TracedGift64((1 << 128) - 1).sbox_indices_by_round(plaintext, 1)
+        assert a == b
+
+    def test_indices_match_manual_first_round(self):
+        cipher = Present(0xA5A5A5A5A5A5A5A5A5A5, 80)
+        plaintext = 0x1111222233334444
+        state = plaintext ^ cipher.round_keys[0]
+        expected = [(state >> (4 * s)) & 0xF for s in range(16)]
+        assert cipher.sbox_indices_by_round(plaintext, 1)[0] == expected
+
+
+class TestValidation:
+    def test_rejects_bad_key_size(self):
+        with pytest.raises(ValueError):
+            Present(0, key_bits=96)
+
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            Present(1 << 80, key_bits=80)
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ValueError):
+            Present(0, 80).encrypt(1 << 64)
+        with pytest.raises(ValueError):
+            Present(0, 80).decrypt(1 << 64)
+
+    def test_sbox_indices_bounds(self):
+        with pytest.raises(ValueError):
+            Present(0, 80).sbox_indices_by_round(0, 0)
+        with pytest.raises(ValueError):
+            Present(0, 80).sbox_indices_by_round(0, 32)

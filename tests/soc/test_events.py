@@ -1,0 +1,106 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.soc.events import Simulator
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(3.0, lambda: fired.append("c"))
+        simulator.schedule(1.0, lambda: fired.append("a"))
+        simulator.schedule(2.0, lambda: fired.append("b"))
+        simulator.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        simulator = Simulator()
+        fired = []
+        for name in "abc":
+            simulator.schedule(1.0, lambda n=name: fired.append(n))
+        simulator.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(2.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        simulator = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", simulator.now))
+            simulator.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", simulator.now))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestControl:
+    def test_run_until_stops_the_clock(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(5.0, lambda: fired.append(5))
+        simulator.run(until=2.0)
+        assert fired == [1]
+        assert simulator.now == 2.0
+
+    def test_cancelled_events_do_not_fire(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(4.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [4.0]
+
+    def test_pending_counts_live_events(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        assert simulator.pending == 2
+        handle.cancel()
+        assert simulator.pending == 1
+
+
+class TestValidation:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_rejects_scheduling_in_the_past(self):
+        simulator = Simulator()
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_event_loop_guard(self):
+        simulator = Simulator()
+
+        def rearm():
+            simulator.schedule(0.0, rearm)
+
+        simulator.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError):
+            simulator.run(max_events=100)

@@ -1,0 +1,118 @@
+"""Tests for the mesh NoC with XY routing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.clock import ClockDomain
+from repro.soc.noc import (
+    MeshNoc,
+    MeshTopology,
+    NocLatencyModel,
+    Packet,
+)
+
+mesh = MeshTopology(4, 2)
+coords = st.tuples(st.integers(0, 3), st.integers(0, 1))
+
+
+class TestTopology:
+    def test_paper_mpsoc_mesh_has_eight_tiles(self):
+        # 7 processors + shared cache/IO tile (Section IV-A).
+        assert mesh.tile_count == 8
+
+    def test_tiles_enumerates_all(self):
+        assert len(list(mesh.tiles())) == 8
+
+    def test_contains(self):
+        assert mesh.contains((0, 0))
+        assert mesh.contains((3, 1))
+        assert not mesh.contains((4, 0))
+        assert not mesh.contains((0, -1))
+
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ValueError):
+            MeshTopology(0, 2)
+
+
+class TestXyRouting:
+    def test_route_goes_x_first_then_y(self):
+        route = mesh.xy_route((0, 0), (2, 1))
+        assert route == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_route_to_self_is_singleton(self):
+        assert mesh.xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_route_handles_negative_directions(self):
+        route = mesh.xy_route((3, 1), (1, 0))
+        assert route == [(3, 1), (2, 1), (1, 1), (1, 0)]
+
+    @given(coords, coords)
+    def test_route_length_is_manhattan_distance(self, src, dst):
+        route = mesh.xy_route(src, dst)
+        assert len(route) - 1 == mesh.hop_count(src, dst)
+
+    @given(coords, coords)
+    def test_route_steps_are_adjacent(self, src, dst):
+        route = mesh.xy_route(src, dst)
+        for a, b in zip(route, route[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @given(coords, coords)
+    def test_xy_determinism_no_y_before_x(self, src, dst):
+        """XY routing never moves in Y while X is unresolved."""
+        route = mesh.xy_route(src, dst)
+        moved_y = False
+        for a, b in zip(route, route[1:]):
+            if a[1] != b[1]:
+                moved_y = True
+            if a[0] != b[0]:
+                assert not moved_y
+
+    def test_rejects_out_of_mesh(self):
+        with pytest.raises(ValueError):
+            mesh.xy_route((0, 0), (9, 9))
+
+
+class TestLatency:
+    def test_default_round_trip_matches_calibration(self):
+        # 2 hops: 4 + 2*(2+2) + 2*(2+2) + 4 = 24 cycles.
+        latency = NocLatencyModel()
+        assert latency.round_trip_cycles(2) == 24
+
+    def test_zero_hops_is_local(self):
+        latency = NocLatencyModel()
+        assert latency.round_trip_cycles(0) == \
+            latency.injection_cycles + latency.response_cycles
+
+    def test_calibrated_to_paper_400ns_at_50mhz(self):
+        """Section IV-B3: remote shared-cache access took ~400 ns at
+        50 MHz.  The default attacker->cache distance is 2 hops."""
+        noc = MeshNoc()
+        seconds = noc.remote_access_seconds(
+            (3, 1), (1, 1), ClockDomain(50e6)
+        )
+        assert 300e-9 <= seconds <= 600e-9
+
+    def test_packets_counted(self):
+        noc = MeshNoc()
+        noc.remote_access_cycles((0, 0), (1, 0))
+        assert noc.packets_sent == 2
+
+    def test_rejects_negative_hops(self):
+        with pytest.raises(ValueError):
+            NocLatencyModel().one_way_cycles(-1)
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(ValueError):
+            NocLatencyModel(router_cycles=-1)
+
+
+class TestPacket:
+    def test_packet_fields(self):
+        packet = Packet(source=(0, 0), destination=(1, 1), payload_flits=3)
+        assert packet.payload_flits == 3
+
+    def test_rejects_empty_packet(self):
+        with pytest.raises(ValueError):
+            Packet(source=(0, 0), destination=(1, 1), payload_flits=0)

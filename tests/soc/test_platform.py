@@ -1,0 +1,103 @@
+"""Tests for the Table II platform models."""
+
+import pytest
+
+from repro.soc.clock import ClockDomain
+from repro.soc.noc import MeshNoc, MeshTopology
+from repro.soc.platform import MPSoC, ProbeReport, SingleCoreSoC
+from repro.soc.processor import CoreTimingModel
+
+
+class TestSingleCoreSoC:
+    @pytest.mark.parametrize("frequency,expected_round", [
+        (10e6, 2), (25e6, 4), (50e6, 8),
+    ])
+    def test_reproduces_table2_row_one(self, frequency, expected_round):
+        report = SingleCoreSoC(ClockDomain(frequency)).run_attack_window()
+        assert report.probed_round == expected_round
+
+    def test_faster_clock_probes_later_rounds(self):
+        rounds = [
+            SingleCoreSoC(ClockDomain(f)).run_attack_window().probed_round
+            for f in (5e6, 10e6, 20e6, 40e6)
+        ]
+        assert rounds == sorted(rounds)
+
+    def test_smaller_quantum_probes_earlier(self):
+        clock = ClockDomain(50e6)
+        default = SingleCoreSoC(clock).run_attack_window()
+        shorter = SingleCoreSoC(clock, quantum_s=0.002).run_attack_window()
+        assert shorter.probed_round < default.probed_round
+
+    def test_report_fields(self):
+        report = SingleCoreSoC(ClockDomain(10e6)).run_attack_window()
+        assert report.platform == "single-core SoC"
+        assert report.frequency_hz == 10e6
+        assert report.round_duration_s == pytest.approx(6e-3)
+        assert report.probe_latency_s > 0
+
+    def test_practicality_threshold(self):
+        low = SingleCoreSoC(ClockDomain(10e6)).run_attack_window()
+        high = SingleCoreSoC(ClockDomain(50e6)).run_attack_window()
+        assert low.practical
+        assert not high.practical
+
+
+class TestMPSoC:
+    @pytest.mark.parametrize("frequency", [10e6, 25e6, 50e6])
+    def test_reproduces_table2_row_two(self, frequency):
+        report = MPSoC(ClockDomain(frequency)).run_attack_window()
+        assert report.probed_round == 1
+
+    def test_probe_much_faster_than_round(self):
+        """The core of the paper's MPSoC result: remote probing (~400 ns
+        per access) is orders of magnitude faster than a cipher round
+        (~1.2 ms at 50 MHz)."""
+        report = MPSoC(ClockDomain(50e6)).run_attack_window()
+        assert report.probe_latency_s < report.round_duration_s / 10
+
+    def test_probe_report_platform_name(self):
+        report = MPSoC(ClockDomain(10e6)).run_attack_window()
+        assert report.platform == "MPSoC"
+        assert report.practical
+
+    def test_farther_attacker_tile_still_round_one(self):
+        # Even the worst-case mesh distance leaves probing far faster
+        # than a round.
+        soc = MPSoC(
+            ClockDomain(50e6),
+            attacker_tile=(3, 1),
+            cache_tile=(0, 0),
+        )
+        assert soc.run_attack_window().probed_round == 1
+
+    def test_rejects_tiles_outside_mesh(self):
+        with pytest.raises(ValueError):
+            MPSoC(ClockDomain(10e6), victim_tile=(9, 9))
+
+    def test_custom_mesh(self):
+        noc = MeshNoc(MeshTopology(3, 3))
+        soc = MPSoC(ClockDomain(10e6), noc=noc, attacker_tile=(2, 2),
+                    cache_tile=(1, 1))
+        assert soc.run_attack_window().probed_round == 1
+
+
+class TestCalibrationSensitivity:
+    def test_slower_software_lets_attacker_probe_earlier(self):
+        """With a slower victim binary (more cycles per round), the same
+        quantum covers fewer rounds."""
+        clock = ClockDomain(50e6)
+        slow = SingleCoreSoC(
+            clock, core=CoreTimingModel(cycles_per_round=240_000)
+        ).run_attack_window()
+        fast = SingleCoreSoC(clock).run_attack_window()
+        assert slow.probed_round < fast.probed_round
+
+    def test_probe_report_is_plain_data(self):
+        report = ProbeReport(
+            platform="x", frequency_hz=1e6, probed_round=3,
+            probe_time_s=0.01, round_duration_s=0.001,
+            probe_latency_s=1e-6,
+        )
+        assert report.probed_round == 3
+        assert report.practical

@@ -1,0 +1,170 @@
+"""Tests for the clock domain, core timing model, bus and RTOS scheduler."""
+
+import pytest
+
+from repro.soc.bus import BusLatencyModel, SharedBus
+from repro.soc.clock import PAPER_FREQUENCIES_HZ, ClockDomain
+from repro.soc.events import Simulator
+from repro.soc.processor import CoreTimingModel
+from repro.soc.scheduler import PAPER_QUANTUM_S, RoundRobinScheduler, Task
+
+
+class TestClockDomain:
+    def test_paper_frequencies(self):
+        assert PAPER_FREQUENCIES_HZ == (10_000_000, 25_000_000, 50_000_000)
+
+    def test_conversions_roundtrip(self):
+        clock = ClockDomain(25e6)
+        assert clock.seconds_to_cycles(clock.cycles_to_seconds(1000)) \
+            == pytest.approx(1000)
+
+    def test_period(self):
+        assert ClockDomain(10e6).period_s == pytest.approx(100e-9)
+
+    def test_describe(self):
+        assert ClockDomain(50e6).describe() == "50 MHz"
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain(0)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            ClockDomain(1e6).cycles_to_seconds(-1)
+
+
+class TestCoreTimingModel:
+    def test_round_duration_matches_paper_observation(self):
+        # ~1.2 ms between rounds at 50 MHz (Section IV-B3).
+        core = CoreTimingModel()
+        assert core.round_duration_s(ClockDomain(50e6)) \
+            == pytest.approx(1.2e-3)
+
+    def test_round_in_progress_setup_is_round_zero(self):
+        core = CoreTimingModel()
+        clock = ClockDomain(50e6)
+        assert core.round_in_progress(clock, 0.0) == 0
+        assert core.round_in_progress(
+            clock, core.setup_duration_s(clock) / 2
+        ) == 0
+
+    def test_round_in_progress_counts_up(self):
+        core = CoreTimingModel()
+        clock = ClockDomain(50e6)
+        setup = core.setup_duration_s(clock)
+        round_t = core.round_duration_s(clock)
+        assert core.round_in_progress(clock, setup + 0.5 * round_t) == 1
+        assert core.round_in_progress(clock, setup + 1.5 * round_t) == 2
+
+    def test_boundary_counts_as_completed_round(self):
+        core = CoreTimingModel()
+        clock = ClockDomain(50e6)
+        elapsed = (core.setup_duration_s(clock)
+                   + 8 * core.round_duration_s(clock))
+        assert core.round_in_progress(clock, elapsed) == 8
+
+    def test_probe_duration_scales_with_lines(self):
+        core = CoreTimingModel()
+        clock = ClockDomain(10e6)
+        assert core.probe_duration_s(clock, 32) \
+            == pytest.approx(2 * core.probe_duration_s(clock, 16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(cycles_per_round=0)
+        with pytest.raises(ValueError):
+            CoreTimingModel().round_in_progress(ClockDomain(1e6), -1.0)
+        with pytest.raises(ValueError):
+            CoreTimingModel().probe_duration_s(ClockDomain(1e6), -1)
+
+
+class TestSharedBus:
+    def test_uncontended_transaction(self):
+        bus = SharedBus()
+        assert bus.access_cycles("cpu") == 3
+
+    def test_contention_adds_waiting(self):
+        bus = SharedBus()
+        assert bus.access_cycles("cpu", pending_masters=2) == 3 + 6
+
+    def test_transactions_accounted_per_master(self):
+        bus = SharedBus()
+        bus.access_cycles("cpu")
+        bus.access_cycles("cpu")
+        bus.access_cycles("dma")
+        assert bus.transactions == {"cpu": 2, "dma": 1}
+
+    def test_seconds_conversion(self):
+        bus = SharedBus(BusLatencyModel(arbitration_cycles=1,
+                                        transfer_cycles=1))
+        assert bus.access_seconds("cpu", ClockDomain(2e6)) \
+            == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusLatencyModel(arbitration_cycles=-1)
+        with pytest.raises(ValueError):
+            SharedBus().access_cycles("cpu", pending_masters=-1)
+
+
+class TestScheduler:
+    def test_paper_quantum(self):
+        assert PAPER_QUANTUM_S == pytest.approx(0.010)
+
+    def test_round_robin_alternation(self):
+        simulator = Simulator()
+        scheduler = RoundRobinScheduler(simulator, quantum_s=1.0)
+        order = []
+        scheduler.add_task(Task("a", on_scheduled=lambda t: order.append("a")))
+        scheduler.add_task(Task("b", on_scheduled=lambda t: order.append("b")))
+        scheduler.start()
+        simulator.run(until=4.5)
+        assert order == ["a", "b", "a", "b", "a"]
+
+    def test_quantum_boundaries(self):
+        simulator = Simulator()
+        scheduler = RoundRobinScheduler(simulator, quantum_s=2.0)
+        times = []
+        scheduler.add_task(Task("a", on_scheduled=times.append))
+        scheduler.add_task(Task("b", on_scheduled=times.append))
+        scheduler.start()
+        simulator.run(until=5.0)
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_context_switch_shifts_later_dispatches(self):
+        simulator = Simulator()
+        scheduler = RoundRobinScheduler(
+            simulator, quantum_s=1.0, context_switch_s=0.25
+        )
+        times = []
+        scheduler.add_task(Task("a", on_scheduled=times.append))
+        scheduler.add_task(Task("b", on_scheduled=times.append))
+        scheduler.start()
+        simulator.run(until=2.0)
+        # First dispatch immediate; second after quantum + switch.
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(1.25)
+
+    def test_task_bookkeeping(self):
+        simulator = Simulator()
+        scheduler = RoundRobinScheduler(simulator, quantum_s=1.0)
+        task = Task("only")
+        scheduler.add_task(task)
+        scheduler.start()
+        simulator.run(until=3.5)
+        assert task.times_scheduled == 4
+        assert task.last_scheduled_at == pytest.approx(3.0)
+
+    def test_rejects_duplicate_names(self):
+        scheduler = RoundRobinScheduler(Simulator())
+        scheduler.add_task(Task("x"))
+        with pytest.raises(ValueError):
+            scheduler.add_task(Task("x"))
+
+    def test_rejects_empty_start(self):
+        with pytest.raises(RuntimeError):
+            RoundRobinScheduler(Simulator()).start()
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(Simulator(), quantum_s=0)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAttackCommand:
+    def test_recovers_and_exits_zero(self, capsys):
+        assert main(["attack", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+        assert "victim encryptions" in out
+
+    def test_explicit_key(self, capsys):
+        key = "0123456789abcdef0123456789abcdef"
+        assert main(["attack", "--key", key, "--seed", "1"]) == 0
+        assert key in capsys.readouterr().out
+
+    def test_gift128(self, capsys):
+        assert main(["attack", "--width", "128", "--seed", "2"]) == 0
+        assert "GIFT-128" in capsys.readouterr().out
+
+    def test_wide_lines(self, capsys):
+        assert main(["attack", "--line-words", "2", "--seed", "3"]) == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "--width", "96"])
+
+
+class TestExperimentCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "single-core SoC" in out
+        assert "MPSoC" in out
+
+    def test_theory(self, capsys):
+        assert main(["theory", "--line-words", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "drop-out" in out
+        assert "practical limit" in out
+
+    def test_figure3_quick(self, capsys):
+        assert main(["figure3", "--runs", "1"]) == 0
+        assert "no-flush" in capsys.readouterr().out
+
+    def test_table1_quick(self, capsys):
+        assert main(["table1", "--runs", "1"]) == 0
+        assert ">1M" in capsys.readouterr().out
+
+    def test_countermeasures(self, capsys):
+        assert main(["countermeasures"]) == 0
+        out = capsys.readouterr().out
+        assert "defeated" in out
+        assert "channel closed" in out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,42 @@
+"""Smoke tests of the package's public API surface."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        """The README / module docstring quickstart must work verbatim."""
+        victim = repro.TracedGift64(
+            master_key=0x0123456789ABCDEF0123456789ABCDEF
+        )
+        result = repro.GrinchAttack(
+            victim, repro.AttackConfig(seed=1)
+        ).recover_master_key()
+        assert result.master_key == victim.master_key
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.cache
+        import repro.core
+        import repro.countermeasures
+        import repro.gift
+        import repro.present
+        import repro.soc
+
+        for module in (repro.analysis, repro.cache, repro.core,
+                       repro.countermeasures, repro.gift, repro.present,
+                       repro.soc):
+            assert module.__doc__
+
+    def test_convenience_wrapper(self):
+        result = repro.recover_full_key(
+            repro.TracedGift64(42), repro.AttackConfig(seed=2)
+        )
+        assert result.master_key == 42
