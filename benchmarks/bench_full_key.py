@@ -7,7 +7,7 @@ benchmarks one complete recovery.
 
 import random
 
-from repro.analysis import format_count, render_series, run_full_key
+from repro.analysis import render_series, run_full_key
 from repro.core import AttackConfig, recover_full_key
 from repro.gift import TracedGift64
 

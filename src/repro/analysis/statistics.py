@@ -3,15 +3,23 @@
 from __future__ import annotations
 
 import math
+import statistics as _statistics
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (raises on empty input)."""
+    """Arithmetic mean (raises on empty input).
+
+    Delegates to :func:`statistics.mean`, which computes the exact
+    rational mean before rounding once — so the result always lies in
+    ``[min(values), max(values)]``.  The naive ``sum(values) / len(values)``
+    violates that for e.g. three copies of the same float, whose sum
+    rounds upward before the division.
+    """
     if not values:
         raise ValueError("mean of empty sequence")
-    return sum(values) / len(values)
+    return float(_statistics.mean(values))
 
 
 def geometric_mean(values: Sequence[float]) -> float:

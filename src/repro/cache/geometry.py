@@ -66,6 +66,17 @@ class CacheGeometry:
         """Total cache capacity in bytes."""
         return self.total_lines * self.line_bytes
 
+    def lines_spanned(self, nbytes: int) -> int:
+        """Cache lines a line-aligned object of ``nbytes`` occupies.
+
+        This is the footprint term of the leakage model: a lookup into a
+        table spanning ``n`` lines reveals at most ``log2(n)`` bits per
+        access to a line-granularity observer.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"object size must be positive, got {nbytes}")
+        return -(-nbytes // self.line_bytes)
+
     def line_of(self, address: int) -> int:
         """Line number (address stripped of the intra-line offset)."""
         if address < 0:

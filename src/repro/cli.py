@@ -95,6 +95,15 @@ def _build_parser() -> argparse.ArgumentParser:
     theory.add_argument("--line-words", type=int, choices=(1, 2, 4, 8),
                         default=1)
     theory.add_argument("--no-flush", action="store_true")
+
+    staticcheck = commands.add_parser(
+        "staticcheck",
+        help="static leakage analysis (secret-dependent lookups/branches)",
+    )
+    staticcheck.add_argument(
+        "staticcheck_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.staticcheck",
+    )
     return parser
 
 
@@ -171,6 +180,12 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> int:
+    from .staticcheck.cli import main as staticcheck_main
+
+    return staticcheck_main(args.staticcheck_args)
+
+
 _HANDLERS = {
     "attack": _cmd_attack,
     "figure3": _cmd_figure3,
@@ -178,6 +193,7 @@ _HANDLERS = {
     "table2": _cmd_table2,
     "countermeasures": _cmd_countermeasures,
     "theory": _cmd_theory,
+    "staticcheck": _cmd_staticcheck,
 }
 
 

@@ -29,8 +29,10 @@ from typing import List, Tuple
 from ..gift.keyschedule import round_keys as standard_round_keys
 from ..gift.lut import TableLayout, TracedGiftCipher
 from ..gift.sbox import GIFT_SBOX
+from ..staticcheck.secrets import secret_params
 
 
+@secret_params("word", "tweak")
 def whiten_word(word: int, tweak: int) -> int:
     """Mix a 16-bit round-key word with a 16-bit tweak, nibble-wise.
 

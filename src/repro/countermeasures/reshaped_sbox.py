@@ -19,6 +19,7 @@ from ..cache.geometry import CacheGeometry
 from ..gift.lut import TableLayout, TracedGiftCipher
 from ..gift.sbox import GIFT_SBOX
 from ..gift.trace import EncryptionTrace, MemoryAccess
+from ..staticcheck.secrets import secret_params
 
 #: The reshaped table: row ``r`` packs entries ``2r`` (low nibble) and
 #: ``2r + 1`` (high nibble) into one byte.
@@ -35,6 +36,7 @@ RESHAPED_ROWS: int = 8
 RECOMMENDED_GEOMETRY = CacheGeometry(line_words=8)
 
 
+@secret_params("index")
 def reshaped_lookup(index: int) -> int:
     """Perform the protected lookup: row load + nibble select."""
     if not 0 <= index < 16:
@@ -56,6 +58,7 @@ class ReshapedSboxGift64(TracedGiftCipher):
                  layout: TableLayout = TableLayout()) -> None:
         super().__init__(master_key, width=64, rounds=rounds, layout=layout)
 
+    @secret_params("index")
     def sbox_row_address(self, index: int) -> int:
         """Byte address actually loaded for S-box ``index``."""
         if not 0 <= index < 16:
@@ -66,6 +69,7 @@ class ReshapedSboxGift64(TracedGiftCipher):
         """Addresses of the 8 packed rows."""
         return [self.layout.sbox_base + row for row in range(RESHAPED_ROWS)]
 
+    @secret_params("state")
     def _sub_cells_traced(self, state: int, round_index: int,
                           trace: EncryptionTrace) -> int:
         result = 0

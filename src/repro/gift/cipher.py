@@ -11,12 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..staticcheck.secrets import secret_params
 from .constants import constant_mask
 from .keyschedule import GiftKeyState, key_xor_state_bits
 from .permutation import permutation_for_width, permute
 from .sbox import GIFT_SBOX, GIFT_SBOX_INV
 
 
+@secret_params("state")
 def sub_cells(state: int, width: int, inverse: bool = False) -> int:
     """Apply SubCells (or its inverse) to every 4-bit segment of ``state``."""
     table = GIFT_SBOX_INV if inverse else GIFT_SBOX
@@ -27,6 +29,7 @@ def sub_cells(state: int, width: int, inverse: bool = False) -> int:
     return result
 
 
+@secret_params("u", "v")
 def round_key_mask(u: int, v: int, width: int) -> int:
     """Expand round-key halves ``U``/``V`` into a full-state XOR mask."""
     u_positions, v_positions = key_xor_state_bits(width)

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..staticcheck.secrets import secret_attributes
+
 KEY_BITS: int = 128
 _WORD_MASK: int = 0xFFFF
 
@@ -26,6 +28,7 @@ def _rotate_right_16(word: int, amount: int) -> int:
     return ((word >> amount) | (word << (16 - amount))) & _WORD_MASK
 
 
+@secret_attributes("value")
 @dataclass
 class GiftKeyState:
     """Mutable 128-bit GIFT key state.

@@ -22,6 +22,7 @@ from typing import List, Tuple
 
 from .cipher import add_round_key
 from .keyschedule import round_keys as standard_round_keys
+from ..staticcheck.secrets import secret_params
 from .permutation import inverse_permutation_for_width, permutation_for_width, permute
 from .sbox import GIFT_SBOX, GIFT_SBOX_INV
 from .trace import EncryptionTrace, MemoryAccess
@@ -96,6 +97,7 @@ def _build_scatter_table(width: int) -> Tuple[Tuple[int, ...], ...]:
 _SCATTER_TABLES = {64: _build_scatter_table(64), 128: _build_scatter_table(128)}
 
 
+@secret_params("state")
 def _sub_cells_inverse(state: int, width: int) -> int:
     result = 0
     for segment in range(width // 4):
@@ -216,8 +218,11 @@ class TracedGiftCipher:
             state = add_round_key(permuted, u, v, round_index, self.width)
         return indices_by_round
 
+    @secret_params("state")
     def _sub_cells_traced(self, state: int, round_index: int,
                           trace: EncryptionTrace) -> int:
+        # The state is key-dependent from round 2 on; the S-box load
+        # below is the secret-indexed access GRINCH observes.
         result = 0
         for segment in range(self._segments):
             index = (state >> (4 * segment)) & 0xF
@@ -233,6 +238,7 @@ class TracedGiftCipher:
             result |= GIFT_SBOX[index] << (4 * segment)
         return result
 
+    @secret_params("state")
     def _perm_bits_traced(self, state: int, round_index: int,
                           trace: EncryptionTrace) -> int:
         result = 0

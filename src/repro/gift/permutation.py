@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from ..staticcheck.secrets import secret_params
+
 
 def _generate_permutation(width: int) -> Tuple[int, ...]:
     if width not in (64, 128):
@@ -50,6 +52,7 @@ PERM128: Tuple[int, ...] = _generate_permutation(128)
 PERM128_INV: Tuple[int, ...] = _invert(PERM128)
 
 
+@secret_params("state")
 def permute(state: int, table: Tuple[int, ...]) -> int:
     """Move every bit ``i`` of ``state`` to position ``table[i]``."""
     result = 0

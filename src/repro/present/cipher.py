@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..staticcheck.secrets import secret_params
+
 #: The PRESENT S-box (branch number 3).
 PRESENT_SBOX: Tuple[int, ...] = (
     0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
@@ -36,7 +38,10 @@ PLAYER_INV: Tuple[int, ...] = tuple(
 PRESENT_ROUNDS: int = 31
 
 
+@secret_params("state")
 def _sbox_layer(state: int, inverse: bool = False) -> int:
+    # PRESENT XORs the round key in *before* SubCells, so every round's
+    # S-box index — including round 1's — is key-dependent.
     table = PRESENT_SBOX_INV if inverse else PRESENT_SBOX
     result = 0
     for segment in range(16):
@@ -45,6 +50,7 @@ def _sbox_layer(state: int, inverse: bool = False) -> int:
     return result
 
 
+@secret_params("state")
 def _p_layer(state: int, inverse: bool = False) -> int:
     table = PLAYER_INV if inverse else PLAYER
     result = 0

@@ -1,0 +1,70 @@
+"""Baseline (suppression) files for known-intentional leaks.
+
+This repository is *mostly victims*: the GIFT and PRESENT
+implementations leak by design — that is the whole point of the
+reproduction.  The baseline file records those known flows so that CI
+can run the analyzer over ``src/repro`` and fail only on *new* leaks.
+
+The baseline file **is** a JSON report (the exact output of
+``--json``/``--write-baseline``), so report and baseline round-trip:
+suppression matches on each finding's location-independent
+``fingerprint`` (path, function, sink kind, expression), which survives
+line-number churn from unrelated edits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from .findings import Finding
+from .report import Report
+
+#: Default baseline location (repo root), used by ``--baseline`` with
+#: no explicit path.
+DEFAULT_BASELINE_NAME = "staticcheck-baseline.json"
+
+
+def load_baseline_fingerprints(path: Path) -> Set[str]:
+    """Fingerprints recorded in a baseline file.
+
+    Accepts either the JSON report format (``{"findings": [...]}``) or a
+    bare list of finding dicts, and tolerates records without an explicit
+    ``fingerprint`` field by recomputing it.
+    """
+    data = json.loads(path.read_text())
+    records = data["findings"] if isinstance(data, dict) else data
+    fingerprints: Set[str] = set()
+    for record in records:
+        fingerprint = record.get("fingerprint")
+        if fingerprint is None:
+            fingerprint = Finding.from_dict(record).fingerprint
+        fingerprints.add(fingerprint)
+    return fingerprints
+
+
+def apply_baseline(findings: Sequence[Finding], fingerprints: Set[str]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(kept, suppressed)`` against a baseline."""
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        (suppressed if finding.fingerprint in fingerprints
+         else kept).append(finding)
+    return kept, suppressed
+
+
+def write_baseline(report: Report, path: Path) -> None:
+    """Write the report as the new baseline (includes suppressed findings,
+    so regenerating against an existing baseline does not lose entries)."""
+    full = Report(
+        geometry=report.geometry,
+        findings=sorted(
+            list(report.findings) + list(report.suppressed),
+            key=lambda f: (f.path, f.line, f.column, f.kind.value),
+        ),
+        suppressed=[],
+        stats=report.stats,
+    )
+    path.write_text(full.to_json() + "\n")

@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro.staticcheck``.
+
+.. code-block:: console
+
+   $ python -m repro.staticcheck src/repro                # text report
+   $ python -m repro.staticcheck src/repro --json         # JSON report
+   $ python -m repro.staticcheck src/repro --baseline     # CI mode
+   $ python -m repro.staticcheck src/repro --write-baseline
+   $ python -m repro.staticcheck src/repro --line-words 8 # countermeasure
+                                                          # geometry
+
+Exit status: 0 when no unsuppressed finding reaches the ``--fail-on``
+severity (default ``medium``), 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..cache.geometry import CacheGeometry
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline_fingerprints,
+    write_baseline,
+)
+from .findings import Severity
+from .project import analyze_paths, self_check_paths
+from .report import Report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticcheck",
+        description="Static leakage analyzer: find secret-dependent table "
+                    "lookups, branches, and address flows.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyse "
+             "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON report instead of text",
+    )
+    parser.add_argument(
+        "--baseline", nargs="?", const=DEFAULT_BASELINE_NAME, default=None,
+        metavar="PATH",
+        help="suppress findings recorded in the baseline file "
+             f"(default path: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline", nargs="?", const=DEFAULT_BASELINE_NAME,
+        default=None, metavar="PATH",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--line-words", type=int, choices=(1, 2, 4, 8), default=1,
+        help="cache line size in 1-byte words for the severity model "
+             "(1 = paper default; 8 = reshaped-S-box recommendation)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=[s.value for s in Severity], default="medium",
+        help="lowest severity that causes a non-zero exit (default: medium)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    paths = args.paths or self_check_paths()
+    geometry = CacheGeometry(line_words=args.line_words)
+
+    try:
+        findings, stats = analyze_paths(paths, geometry=geometry)
+    except FileNotFoundError as error:
+        print(f"repro.staticcheck: {error}", file=sys.stderr)
+        return 2
+
+    suppressed = []
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            fingerprints = load_baseline_fingerprints(baseline_path)
+            findings, suppressed = apply_baseline(findings, fingerprints)
+        elif args.write_baseline is None:
+            print(
+                f"repro.staticcheck: baseline file not found: "
+                f"{baseline_path} (run with --write-baseline to create it)",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = Report(geometry=geometry, findings=list(findings),
+                    suppressed=list(suppressed), stats=stats)
+
+    if args.write_baseline is not None:
+        target = Path(args.write_baseline)
+        write_baseline(report, target)
+        print(f"wrote baseline with "
+              f"{len(report.findings) + len(report.suppressed)} finding(s) "
+              f"to {target}")
+        return 0
+
+    print(report.to_json() if args.json else report.render_text())
+
+    threshold = Severity(args.fail_on)
+    failing = [f for f in report.findings
+               if f.severity.rank >= threshold.rank]
+    return 1 if failing else 0

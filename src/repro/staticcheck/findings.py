@@ -1,0 +1,177 @@
+"""Finding records and the cache-geometry-aware severity model.
+
+A finding is one program point where secret data reaches an
+observable channel.  Severity is not intrinsic to the code — it depends
+on the cache the code runs under.  For a table lookup the attacker
+observes, at best, *which cache line* was touched, so the per-access
+information is
+
+    leak_bits = log2(ceil(table_bytes / line_bytes))
+
+(assuming the table is line-aligned; misalignment can only add one more
+line, i.e. at most a fraction of a bit).  A 16-byte S-box under the
+paper's 1-byte lines leaks 4 bits per access — the full S-box input,
+which is exactly what GRINCH consumes.  The reshaped 8-byte table under
+its recommended 8-byte line leaks 0 bits: every lookup touches the same
+line, and the finding demotes to *info*.
+
+Branch/loop sinks and secret-dependent ``MemoryAccess`` addresses have
+no table footprint to scale by; they keep fixed severities (the timing
+channel leaks at least the branch predicate, and an attacker-visible
+address stream is the strongest channel of all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..cache.geometry import CacheGeometry
+
+
+class SinkKind(str, Enum):
+    """The observable channel a finding reports."""
+
+    TABLE_LOOKUP = "table-lookup"
+    BRANCH = "branch"
+    LOOP_BOUND = "loop-bound"
+    MEMORY_ADDRESS = "memory-address"
+
+
+class Severity(str, Enum):
+    """Ordered severity levels (``INFO`` < ``MEDIUM`` < ``HIGH``)."""
+
+    INFO = "info"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for threshold comparisons."""
+        return ("info", "medium", "high").index(self.value)
+
+
+def leak_bits_for_table(table_bytes: int, geometry: CacheGeometry) -> float:
+    """Observable bits per access for a line-granularity attacker."""
+    if table_bytes <= 0:
+        raise ValueError(f"table must occupy at least one byte, got {table_bytes}")
+    return math.log2(geometry.lines_spanned(table_bytes))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One secret-to-sink flow discovered by the analyzer."""
+
+    path: str
+    line: int
+    column: int
+    function: str
+    kind: SinkKind
+    expression: str
+    message: str
+    table: Optional[str] = None
+    table_bytes: Optional[int] = None
+    leak_bits: Optional[float] = None
+    severity: Severity = Severity.HIGH
+    secret_sources: str = ""
+    _extra: Dict[str, Any] = field(default_factory=dict, compare=False,
+                                   repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-independent identity used by the baseline file.
+
+        Deliberately excludes line/column so that unrelated edits above
+        a known finding do not invalidate the suppression.
+        """
+        return "::".join(
+            (self.path, self.function, self.kind.value, self.expression)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "function": self.function,
+            "kind": self.kind.value,
+            "expression": self.expression,
+            "message": self.message,
+            "table": self.table,
+            "table_bytes": self.table_bytes,
+            "leak_bits": self.leak_bits,
+            "severity": self.severity.value,
+            "secret_sources": self.secret_sources,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=data["path"],
+            line=data["line"],
+            column=data["column"],
+            function=data["function"],
+            kind=SinkKind(data["kind"]),
+            expression=data["expression"],
+            message=data["message"],
+            table=data.get("table"),
+            table_bytes=data.get("table_bytes"),
+            leak_bits=data.get("leak_bits"),
+            severity=Severity(data.get("severity", "high")),
+            secret_sources=data.get("secret_sources", ""),
+        )
+
+    def with_geometry(self, geometry: CacheGeometry) -> "Finding":
+        """Recompute leak bits and severity under ``geometry``."""
+        if self.kind is SinkKind.TABLE_LOOKUP and self.table_bytes:
+            bits = leak_bits_for_table(self.table_bytes, geometry)
+            severity = Severity.INFO if bits == 0 else Severity.HIGH
+            message = _table_message(self.table, self.table_bytes, bits,
+                                     geometry)
+            return replace(self, leak_bits=bits, severity=severity,
+                           message=message)
+        return replace(self, leak_bits=None,
+                       severity=_DEFAULT_SEVERITY[self.kind])
+
+
+#: Severity when no table footprint is available to scale by.
+_DEFAULT_SEVERITY = {
+    SinkKind.TABLE_LOOKUP: Severity.HIGH,
+    SinkKind.BRANCH: Severity.MEDIUM,
+    SinkKind.LOOP_BOUND: Severity.MEDIUM,
+    SinkKind.MEMORY_ADDRESS: Severity.HIGH,
+}
+
+
+def default_severity(kind: SinkKind) -> Severity:
+    """Severity assigned to a sink with no known table footprint."""
+    return _DEFAULT_SEVERITY[kind]
+
+
+def _table_message(table: Optional[str], table_bytes: int, bits: float,
+                   geometry: CacheGeometry) -> str:
+    lines = geometry.lines_spanned(table_bytes)
+    name = table or "lookup table"
+    if bits == 0:
+        return (f"secret-indexed load from {name} ({table_bytes} B) stays "
+                f"within one {geometry.line_bytes}-byte cache line: "
+                f"0 observable bits")
+    return (f"secret-indexed load from {name} ({table_bytes} B) spans "
+            f"{lines} cache lines of {geometry.line_bytes} B: "
+            f"{bits:g} observable bits per access")
+
+
+def table_finding_message(table: Optional[str], table_bytes: Optional[int],
+                          geometry: CacheGeometry) -> str:
+    """Human-readable message for a table-lookup finding."""
+    if table_bytes:
+        bits = leak_bits_for_table(table_bytes, geometry)
+        return _table_message(table, table_bytes, bits, geometry)
+    name = table or "a container of unknown size"
+    return (f"secret-indexed load from {name}: footprint unknown, "
+            f"assuming every access is observable")

@@ -1,0 +1,131 @@
+"""Project-level driving: walk paths, index tables, analyse modules.
+
+Taint analysis is intraprocedural, but *table metadata* is resolved
+project-wide: ``gift/lut.py`` subscripts ``GIFT_SBOX`` imported from
+``gift/sbox.py``, so the analyzer first indexes every module-level
+table in the analysed file set, then resolves ``from X import Y``
+names against that index while analysing each module.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cache.geometry import CacheGeometry, PAPER_DEFAULT_GEOMETRY
+from .analyzer import ModuleAnalysis
+from .findings import Finding
+from .secrets import DEFAULT_SECRET_CONFIG, SecretConfig
+from .tables import TableInfo, collect_module_tables
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    seen = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for a file path.
+
+    Uses the path components from the last ``src`` (or the top package
+    directory containing an ``__init__.py`` chain) downwards; falls back
+    to the bare stem for loose fixture files.
+    """
+    parts = list(path.resolve().parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    else:
+        # Climb while parent directories are packages.
+        package_parts: List[str] = [path.stem]
+        parent = path.resolve().parent
+        while (parent / "__init__.py").exists():
+            package_parts.insert(0, parent.name)
+            parent = parent.parent
+        return ".".join(package_parts) if path.stem != "__init__" \
+            else ".".join(package_parts[:-1])
+    dotted = [p for p in parts]
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def build_table_index(files: Iterable[Path]
+                      ) -> Dict[Tuple[str, str], TableInfo]:
+    """Index module-level tables across the file set."""
+    index: Dict[Tuple[str, str], TableInfo] = {}
+    for path in files:
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            continue
+        module = module_name_for(path)
+        for local_name, info in collect_module_tables(tree, module).items():
+            index[(module, local_name)] = info
+    return index
+
+
+def display_path(path: Path) -> str:
+    """Path as reported in findings: cwd-relative when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(paths: Sequence[str],
+                  config: SecretConfig = DEFAULT_SECRET_CONFIG,
+                  geometry: CacheGeometry = PAPER_DEFAULT_GEOMETRY,
+                  ) -> Tuple[List[Finding], Dict[str, int]]:
+    """Analyse every Python file under ``paths``.
+
+    Returns ``(findings, stats)`` where ``stats`` counts files and
+    functions analysed (surfaced in the report summary).
+    """
+    files = iter_python_files(paths)
+    index = build_table_index(files)
+    findings: List[Finding] = []
+    functions = 0
+    skipped = 0
+    for path in files:
+        try:
+            source = path.read_text()
+            analysis = ModuleAnalysis(
+                source,
+                display_path(path),
+                module=module_name_for(path),
+                config=config,
+                geometry=geometry,
+                external_tables=index,
+            )
+        except SyntaxError:
+            skipped += 1
+            continue
+        findings.extend(analysis.run())
+        functions += analysis.functions_analyzed
+    stats = {"files": len(files) - skipped, "functions": functions,
+             "skipped": skipped}
+    return findings, stats
+
+
+def self_check_paths() -> Optional[List[str]]:
+    """Default analysis target: the installed ``repro`` package tree."""
+    package_root = Path(__file__).resolve().parent.parent
+    return [str(package_root)]

@@ -1,0 +1,112 @@
+"""Structured reports: JSON serialisation and terminal rendering.
+
+The JSON report doubles as the baseline file format (see
+:mod:`repro.staticcheck.baseline`): writing today's report and feeding
+it back with ``--baseline`` suppresses exactly today's findings, so the
+two representations round-trip by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..cache.geometry import CacheGeometry
+from .findings import Finding, Severity
+
+#: Schema version of the JSON report / baseline format.
+REPORT_VERSION = 1
+
+
+@dataclass
+class Report:
+    """The result of one analyzer run."""
+
+    geometry: CacheGeometry
+    findings: List[Finding]
+    suppressed: List[Finding] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_leak_bits(self) -> float:
+        """Sum of leak bits over table-lookup findings with known tables."""
+        return sum(f.leak_bits or 0.0 for f in self.findings)
+
+    def worst_severity(self) -> Severity:
+        """Highest severity among unsuppressed findings (INFO if none)."""
+        worst = Severity.INFO
+        for finding in self.findings:
+            if finding.severity.rank > worst.rank:
+                worst = finding.severity
+        return worst
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (the on-disk report/baseline format)."""
+        return {
+            "version": REPORT_VERSION,
+            "tool": "repro.staticcheck",
+            "geometry": {
+                "total_lines": self.geometry.total_lines,
+                "ways": self.geometry.ways,
+                "line_words": self.geometry.line_words,
+                "word_bytes": self.geometry.word_bytes,
+                "line_bytes": self.geometry.line_bytes,
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                **self.stats,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "total_leak_bits": self.total_leak_bits,
+                "worst_severity": self.worst_severity().value,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the report to JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        """Human-readable multi-file report."""
+        lines: List[str] = []
+        geometry = self.geometry
+        lines.append(
+            f"staticcheck: cache geometry {geometry.line_bytes}-byte lines, "
+            f"{geometry.num_sets} sets x {geometry.ways} ways"
+        )
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        for path in sorted(by_path):
+            lines.append("")
+            lines.append(f"{path}:")
+            for finding in sorted(by_path[path],
+                                  key=lambda f: (f.line, f.column)):
+                bits = ("-" if finding.leak_bits is None
+                        else f"{finding.leak_bits:g}")
+                lines.append(
+                    f"  {finding.line:>4}:{finding.column:<3} "
+                    f"[{finding.severity.value:^6}] {finding.kind.value:<14} "
+                    f"bits={bits:<4} {finding.expression}"
+                )
+                lines.append(f"        in {finding.function}: "
+                             f"{finding.message}")
+        lines.append("")
+        summary = (
+            f"{len(self.findings)} finding(s)"
+            f" ({len(self.suppressed)} baselined/suppressed),"
+            f" total line-granularity leakage"
+            f" {self.total_leak_bits:g} bits/encryption-access-site"
+        )
+        if self.stats:
+            summary += (f" across {self.stats.get('files', 0)} files /"
+                        f" {self.stats.get('functions', 0)} functions")
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def partition_by_severity(findings: Sequence[Finding],
+                          threshold: Severity) -> List[Finding]:
+    """Findings at or above ``threshold``."""
+    return [f for f in findings if f.severity.rank >= threshold.rank]

@@ -1,0 +1,111 @@
+"""Secret declarations: how taint sources enter the analysis.
+
+Two complementary mechanisms seed the taint analysis:
+
+1. **Annotations in the analysed code.**  :func:`secret_params` marks
+   function parameters that carry key material (``@secret_params("state")``
+   on the traced SubCells helper, whose ``state`` is key-dependent from
+   round 2 on), and :func:`secret_attributes` marks instance attributes
+   on a class (``@secret_attributes("value")`` on the GIFT key state).
+   Both are runtime no-ops — the analyzer reads them from the AST, the
+   interpreter just passes the function/class through unchanged.
+
+2. **A name-based config layer** (:class:`SecretConfig`) for code that
+   cannot or should not import this package: any parameter named
+   ``master_key``/``key``/... and any attribute access ``*.master_key``/
+   ``*.round_keys``/... is treated as secret by default.
+
+:func:`declassify` is the explicit escape hatch for values that are
+derived from secrets but deliberately public (e.g. a self-test result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, TypeVar
+
+_T = TypeVar("_T")
+
+#: Attribute name the decorators record their arguments under (consumed
+#: by tests that sanity-check the runtime layer; the analyzer itself
+#: reads the decorator straight from the AST).
+SECRET_PARAMS_ATTR = "__staticcheck_secret_params__"
+SECRET_ATTRIBUTES_ATTR = "__staticcheck_secret_attributes__"
+
+
+def secret_params(*names: str) -> Callable[[_T], _T]:
+    """Mark the named parameters of the decorated function as secret.
+
+    Runtime no-op; the static analyzer treats the listed parameters as
+    taint sources for the function body.
+    """
+
+    def decorate(func: _T) -> _T:
+        setattr(func, SECRET_PARAMS_ATTR, frozenset(names))
+        return func
+
+    return decorate
+
+
+def secret_attributes(*names: str) -> Callable[[_T], _T]:
+    """Mark instance attributes of the decorated class as secret.
+
+    Runtime no-op; inside methods of the class, ``self.<name>`` (and any
+    ``obj.<name>``) is a taint source for each listed name.
+    """
+
+    def decorate(cls: _T) -> _T:
+        setattr(cls, SECRET_ATTRIBUTES_ATTR, frozenset(names))
+        return cls
+
+    return decorate
+
+
+def declassify(value: _T) -> _T:
+    """Explicitly launder a secret-derived value as public.
+
+    Identity at runtime; the analyzer stops taint propagation through a
+    call to this function (by name).  Use sparingly and only for values
+    whose dependence on the secret is deliberate and audited.
+    """
+    return value
+
+
+@dataclass(frozen=True)
+class SecretConfig:
+    """Name-based taint seeding and laundering rules.
+
+    Parameters
+    ----------
+    param_names:
+        Function parameters with these names are secret in any analysed
+        function, without requiring a :func:`secret_params` annotation.
+    attribute_names:
+        ``obj.<attr>`` reads with these attribute names are secret.
+    declassifiers:
+        Call targets (by simple name) whose result is always public,
+        even when fed secret arguments.
+    """
+
+    param_names: FrozenSet[str] = frozenset(
+        {"master_key", "secret_key", "key", "round_key"}
+    )
+    attribute_names: FrozenSet[str] = frozenset(
+        {"master_key", "key", "round_key", "round_keys", "_round_keys"}
+    )
+    declassifiers: FrozenSet[str] = frozenset(
+        {"declassify", "len", "isinstance", "id", "bool"}
+    )
+
+    def with_extra(self, *, params: FrozenSet[str] = frozenset(),
+                   attributes: FrozenSet[str] = frozenset()) -> "SecretConfig":
+        """Return a config with additional secret names."""
+        return SecretConfig(
+            param_names=self.param_names | params,
+            attribute_names=self.attribute_names | attributes,
+            declassifiers=self.declassifiers,
+        )
+
+
+#: The configuration used when none is supplied.
+DEFAULT_SECRET_CONFIG = SecretConfig()

@@ -1,0 +1,160 @@
+"""Discovery of module-level lookup tables and their byte footprints.
+
+The severity model needs to know *how big* a table is: a 16-entry
+1-byte-per-entry S-box spans 16 cache lines on the paper's 1-byte-line
+L1 (4 observable bits per access) but only a single line once reshaped
+to 8 bytes under an 8-byte line (0 observable bits).  This module
+recognises the table shapes that actually occur in cipher code:
+
+* tuple/list literals of small integer constants,
+* ``bytes`` literals,
+* ``tuple(<expr> for <v> in range(<n>))`` comprehension builders
+  (covers ``GIFT_SBOX_INV``, ``RESHAPED_SBOX_ROWS``, ``PLAYER`` …).
+
+Anything else (dicts of tables, function-built tables) is left with an
+unknown size; secret-indexed loads from those are still reported, just
+without a leak-bit figure.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """One module-level lookup table the analyzer knows the shape of."""
+
+    #: Dotted name, e.g. ``repro.gift.sbox.GIFT_SBOX``.
+    qualified_name: str
+    #: Number of entries.
+    length: int
+    #: Bytes per entry (smallest power-free byte count that holds the
+    #: largest entry; matches the packed layouts the victims model).
+    entry_bytes: int
+    #: Line the table is defined on.
+    lineno: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Byte footprint of the whole table."""
+        return self.length * self.entry_bytes
+
+
+def _int_elements(node: ast.AST) -> Optional[Tuple[int, ...]]:
+    """Constant integer elements of a tuple/list literal, else ``None``."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, int) \
+                and not isinstance(element.value, bool):
+            values.append(element.value)
+        else:
+            return None
+    return tuple(values)
+
+
+def _entry_bytes_for(values: Tuple[int, ...]) -> int:
+    """Bytes needed per entry for the given values (at least one)."""
+    widest = max((abs(v).bit_length() for v in values), default=1)
+    return max(1, (widest + 7) // 8)
+
+
+def _constant_range_length(node: ast.AST) -> Optional[int]:
+    """Length of a ``range(<constant>)`` call, else ``None``."""
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "range" and len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, int)):
+        return node.args[0].value
+    return None
+
+
+def _comprehension_length(node: ast.AST) -> Optional[int]:
+    """Length of ``tuple(... for v in range(n))``/``tuple(range(n))``
+    style builders."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("tuple", "list")):
+        return None
+    if len(node.args) != 1 or node.keywords:
+        return None
+    direct = _constant_range_length(node.args[0])
+    if direct is not None:
+        return direct
+    comp = node.args[0]
+    if not isinstance(comp, (ast.GeneratorExp, ast.ListComp)):
+        return None
+    if len(comp.generators) != 1 or comp.generators[0].ifs:
+        return None
+    return _constant_range_length(comp.generators[0].iter)
+
+
+def table_from_value(module: str, name: str, value: ast.AST,
+                     lineno: int) -> Optional[TableInfo]:
+    """Build a :class:`TableInfo` if ``value`` is a recognised table shape."""
+    qualified = f"{module}.{name}" if module else name
+
+    elements = _int_elements(value)
+    if elements is not None and elements:
+        return TableInfo(qualified, len(elements),
+                         _entry_bytes_for(elements), lineno)
+
+    if isinstance(value, ast.Constant) and isinstance(value.value, bytes) \
+            and value.value:
+        return TableInfo(qualified, len(value.value), 1, lineno)
+
+    length = _comprehension_length(value)
+    if length:
+        # Comprehension-built tables in cipher code pack nibbles/bytes;
+        # assume 1 byte per entry (the conservative, smallest footprint).
+        return TableInfo(qualified, length, 1, lineno)
+    return None
+
+
+def collect_module_tables(tree: ast.Module, module: str) -> Dict[str, TableInfo]:
+    """Tables assigned at module level, keyed by their local name."""
+    tables: Dict[str, TableInfo] = {}
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1 \
+                and isinstance(statement.targets[0], ast.Name):
+            name, value = statement.targets[0].id, statement.value
+        elif isinstance(statement, ast.AnnAssign) \
+                and isinstance(statement.target, ast.Name) \
+                and statement.value is not None:
+            name, value = statement.target.id, statement.value
+        else:
+            continue
+        info = table_from_value(module, name, value, statement.lineno)
+        if info is not None:
+            tables[name] = info
+    return tables
+
+
+def collect_imported_names(tree: ast.Module, module: str
+                           ) -> Dict[str, Tuple[str, str]]:
+    """Map local names to ``(absolute_module, original_name)`` for
+    ``from X import Y [as Z]`` statements, resolving relative imports
+    against ``module``'s package."""
+    imports: Dict[str, Tuple[str, str]] = {}
+    package_parts = module.split(".")[:-1] if module else []
+    for statement in tree.body:
+        if not isinstance(statement, ast.ImportFrom):
+            continue
+        if statement.level:
+            if statement.level - 1 > len(package_parts):
+                continue
+            base = package_parts[:len(package_parts) - (statement.level - 1)]
+            prefix = ".".join(base)
+            target = f"{prefix}.{statement.module}" if statement.module \
+                else prefix
+        else:
+            target = statement.module or ""
+        for alias in statement.names:
+            if alias.name == "*":
+                continue
+            imports[alias.asname or alias.name] = (target, alias.name)
+    return imports

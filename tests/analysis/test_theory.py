@@ -1,6 +1,5 @@
 """Tests for the analytic effort model."""
 
-import math
 import random
 
 import pytest

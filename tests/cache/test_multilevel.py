@@ -1,6 +1,5 @@
 """Tests for the two-level (private L1 + shared L2) hierarchy."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -138,6 +138,7 @@ class TestWideCacheLines:
 
 
 class TestProbeStrategies:
+    @pytest.mark.slow
     def test_prime_probe_also_recovers_the_key(self):
         """Prime+Probe works too (Section III-C offers both), but needs
         stall acceptance: the PermBits table keeps two monitored sets

@@ -68,6 +68,7 @@ class TestLineWidthInteraction:
         outcome = attack.attack_first_round()
         assert outcome.recovered_bits == 64
 
+    @pytest.mark.slow
     def test_four_word_lines_leave_v_ambiguity(self):
         key = random.Random(7).getrandbits(128)
         config = AttackConfig(

@@ -1,7 +1,6 @@
 """Tests for the cache-attack runner, including fast/full path equivalence."""
 
 import random
-from dataclasses import replace
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.soc.clock import ClockDomain
 from repro.soc.events import Simulator
-from repro.soc.noc import MeshTopology, NocLatencyModel
 from repro.soc.noc_sim import PacketNoc, measure_probe_contention
 
 CLOCK = ClockDomain(50e6)

@@ -1,0 +1,120 @@
+"""CLI, JSON schema, and baseline round-trip tests."""
+
+import json
+
+from repro.staticcheck.cli import main
+
+from . import fixtures
+
+REQUIRED_FINDING_KEYS = {
+    "path", "line", "column", "function", "kind", "expression", "message",
+    "table", "table_bytes", "leak_bits", "severity", "secret_sources",
+    "fingerprint",
+}
+
+
+def write_fixture(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_module_exits_zero(self, tmp_path, capsys):
+        path = write_fixture(tmp_path, "safe.py", fixtures.SAFE_PUBLIC_INDEX)
+        assert main([str(path)]) == 0
+
+    def test_leaky_module_exits_nonzero(self, tmp_path, capsys):
+        path = write_fixture(tmp_path, "leaky.py",
+                             fixtures.LEAKY_TABLE_LOOKUP)
+        assert main([str(path)]) == 1
+
+    def test_fail_on_high_ignores_medium_branches(self, tmp_path, capsys):
+        path = write_fixture(tmp_path, "branchy.py", fixtures.LEAKY_BRANCH)
+        assert main([str(path)]) == 1
+        assert main([str(path), "--fail-on", "high"]) == 0
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/a/file.txt"]) == 2
+
+
+class TestJsonReport:
+    def test_schema(self, tmp_path, capsys):
+        path = write_fixture(tmp_path, "leaky.py",
+                             fixtures.LEAKY_TABLE_LOOKUP)
+        main([str(path), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["tool"] == "repro.staticcheck"
+        assert set(report["geometry"]) == {
+            "total_lines", "ways", "line_words", "word_bytes", "line_bytes",
+        }
+        assert report["findings"], "expected at least one finding"
+        for finding in report["findings"]:
+            assert REQUIRED_FINDING_KEYS <= set(finding)
+        summary = report["summary"]
+        assert summary["findings"] == len(report["findings"])
+        assert summary["worst_severity"] in ("info", "medium", "high")
+
+    def test_geometry_flag_changes_leak_bits(self, tmp_path, capsys):
+        path = write_fixture(tmp_path, "packed.py",
+                             fixtures.RESHAPED_STYLE_TABLE)
+        main([str(path), "--json", "--fail-on", "high"])
+        narrow = json.loads(capsys.readouterr().out)
+        main([str(path), "--json", "--line-words", "8", "--fail-on", "high"])
+        wide = json.loads(capsys.readouterr().out)
+        lookup_bits = [f["leak_bits"] for f in narrow["findings"]
+                       if f["kind"] == "table-lookup"]
+        assert lookup_bits == [3.0]
+        lookup_bits = [f["leak_bits"] for f in wide["findings"]
+                       if f["kind"] == "table-lookup"]
+        assert lookup_bits == [0.0]
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_suppress(self, tmp_path, capsys):
+        source = write_fixture(tmp_path, "leaky.py",
+                               fixtures.LEAKY_TABLE_LOOKUP)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(source), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # With the baseline applied, the same findings are suppressed.
+        assert main([str(source), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+        # The baseline file is itself a valid JSON report.
+        report = json.loads(baseline.read_text())
+        assert report["tool"] == "repro.staticcheck"
+        assert all("fingerprint" in f for f in report["findings"])
+
+    def test_new_leak_still_fails_against_old_baseline(self, tmp_path,
+                                                       capsys):
+        source = write_fixture(tmp_path, "leaky.py",
+                               fixtures.LEAKY_TABLE_LOOKUP)
+        baseline = tmp_path / "baseline.json"
+        main([str(source), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        source.write_text(source.read_text() + fixtures.LEAKY_BRANCH)
+        assert main([str(source), "--baseline", str(baseline)]) == 1
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        source = write_fixture(tmp_path, "leaky.py",
+                               fixtures.LEAKY_TABLE_LOOKUP)
+        assert main([str(source), "--baseline",
+                     str(tmp_path / "absent.json")]) == 2
+
+    def test_rewrite_keeps_suppressed_entries(self, tmp_path, capsys):
+        source = write_fixture(tmp_path, "leaky.py",
+                               fixtures.LEAKY_TABLE_LOOKUP)
+        baseline = tmp_path / "baseline.json"
+        main([str(source), "--write-baseline", str(baseline)])
+        first = json.loads(baseline.read_text())["findings"]
+        # Regenerating against the existing baseline must not drop the
+        # already-suppressed findings from the new file.
+        main([str(source), "--baseline", str(baseline),
+              "--write-baseline", str(baseline)])
+        second = json.loads(baseline.read_text())["findings"]
+        assert {f["fingerprint"] for f in first} == \
+            {f["fingerprint"] for f in second}

@@ -1,0 +1,61 @@
+"""Severity-model tests: the leak-bits formula against cache geometry."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry, PAPER_DEFAULT_GEOMETRY
+from repro.staticcheck import leak_bits_for_table
+
+
+class TestLinesSpanned:
+    def test_exact_multiples(self):
+        geometry = CacheGeometry(line_words=8)
+        assert geometry.lines_spanned(8) == 1
+        assert geometry.lines_spanned(16) == 2
+
+    def test_rounds_up(self):
+        geometry = CacheGeometry(line_words=8)
+        assert geometry.lines_spanned(1) == 1
+        assert geometry.lines_spanned(9) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PAPER_DEFAULT_GEOMETRY.lines_spanned(0)
+
+
+class TestLeakBits:
+    def test_paper_default_sbox(self):
+        # 16-byte S-box, 1-byte lines: the full 4-bit index is visible.
+        assert leak_bits_for_table(16, PAPER_DEFAULT_GEOMETRY) == 4.0
+
+    @pytest.mark.parametrize("line_words,expected", [
+        (1, 4.0), (2, 3.0), (4, 2.0), (8, 1.0),
+    ])
+    def test_table1_line_sweep(self, line_words, expected):
+        # Table I's sweep: each doubling of the line hides one index bit.
+        geometry = CacheGeometry(line_words=line_words)
+        assert leak_bits_for_table(16, geometry) == expected
+
+    def test_reshaped_table_vanishes_at_recommended_line(self):
+        # Section IV-C: 8-byte packed table + 8-byte line = one line.
+        assert leak_bits_for_table(8, CacheGeometry(line_words=8)) == 0.0
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            leak_bits_for_table(0, PAPER_DEFAULT_GEOMETRY)
+
+
+class TestRuntimeMarkers:
+    def test_secret_params_is_runtime_noop(self):
+        from repro.staticcheck.secrets import secret_params
+
+        @secret_params("x")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert f.__staticcheck_secret_params__ == frozenset({"x"})
+
+    def test_declassify_is_identity(self):
+        from repro.staticcheck.secrets import declassify
+
+        assert declassify(41) == 41
