@@ -22,6 +22,7 @@ from repro.analysis import (
 )
 from repro.cache import CacheGeometry, SetAssociativeCache
 from repro.core import AttackConfig, GrinchAttack
+from repro.engine import derive_key
 from repro.gift import Gift64, TracedGift64
 
 
@@ -63,7 +64,7 @@ def test_theory_validation(publish):
 def test_replacement_policy_insensitivity(publish):
     """The attack's footprint never fills a 16-way set, so LRU vs. FIFO
     vs. random must not change the outcome."""
-    key = random.Random(4).getrandbits(128)
+    key = derive_key(128, "bench-ablations", 4)
     rows = []
     for policy in ("lru", "fifo", "random"):
         # The policy only matters on the full-simulation path.
@@ -111,7 +112,7 @@ def test_memory_hierarchy_ablation(publish):
     from repro.core.crosscore import make_cross_core_runner
     from repro.core.errors import AttackError
 
-    key = random.Random(9).getrandbits(128)
+    key = derive_key(128, "bench-ablations", 9)
     victim = TracedGift64(key)
 
     baseline = GrinchAttack(victim, AttackConfig(seed=41)) \
@@ -160,7 +161,7 @@ def test_attack_taxonomy_ablation(publish):
     from repro.gift import round_keys
     from repro.variants import TimeDrivenAttack, TraceDrivenAttack
 
-    key = random.Random(7).getrandbits(128)
+    key = derive_key(128, "bench-ablations", 7)
     victim = TracedGift64(key)
     u1, v1 = round_keys(key, 1, width=64)[0]
     segment = 2

@@ -5,8 +5,6 @@ and benchmarks the overhead of the protected implementations relative
 to the unprotected victim.
 """
 
-import random
-
 from repro.analysis import format_table
 from repro.countermeasures import (
     HardenedKeyScheduleGift64,
@@ -14,9 +12,10 @@ from repro.countermeasures import (
     evaluate_hardened_schedule,
     evaluate_reshaped_sbox,
 )
+from repro.engine import derive_key
 from repro.gift import TracedGift64
 
-KEY = random.Random(77).getrandbits(128)
+KEY = derive_key(128, "bench-countermeasures", 77)
 
 
 def test_countermeasure_evaluation_regeneration(publish):

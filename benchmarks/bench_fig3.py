@@ -1,17 +1,15 @@
 """E1 — Fig. 3: required encryptions to break the first GIFT round.
 
-Regenerates both series (with and without flush) across probing rounds
-1-10 and benchmarks the experiment unit (one first-round attack at the
+Regenerates both series (with and without flush) through the experiment
+engine and benchmarks the experiment unit (one first-round attack at the
 paper's best case: probing round 1, flush enabled).
 """
 
-import random
-
 from repro.analysis import run_figure3, render_figure3
 from repro.core import AttackConfig, GrinchAttack
+from repro.engine import derive_key
+from repro.engine.budget import simulated_effort_budget
 from repro.gift import TracedGift64
-
-from conftest import simulated_effort_budget
 
 
 def test_fig3_regeneration(publish):
@@ -33,8 +31,7 @@ def test_fig3_regeneration(publish):
 
 def test_fig3_round1_attack_benchmark(benchmark):
     """Benchmark one bar: the round-1-probing first-round attack."""
-    key = random.Random(1).getrandbits(128)
-    victim = TracedGift64(key)
+    victim = TracedGift64(derive_key(128, "bench-fig3", 1))
 
     def attack_once():
         return GrinchAttack(
@@ -47,8 +44,7 @@ def test_fig3_round1_attack_benchmark(benchmark):
 
 def test_fig3_no_flush_attack_benchmark(benchmark):
     """Benchmark the matching "Grinch without Flush" bar."""
-    key = random.Random(2).getrandbits(128)
-    victim = TracedGift64(key)
+    victim = TracedGift64(derive_key(128, "bench-fig3", 2))
 
     def attack_once():
         return GrinchAttack(

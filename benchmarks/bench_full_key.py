@@ -5,10 +5,9 @@ encryptions".  Regenerates the measurement over several random keys and
 benchmarks one complete recovery.
 """
 
-import random
-
 from repro.analysis import render_series, run_full_key
 from repro.core import AttackConfig, recover_full_key
+from repro.engine import derive_key
 from repro.gift import TracedGift64
 
 
@@ -29,7 +28,7 @@ def test_full_key_effort_regeneration(publish):
 
 
 def test_full_key_recovery_benchmark(benchmark):
-    key = random.Random(8).getrandbits(128)
+    key = derive_key(128, "bench-full-key", 8)
     victim = TracedGift64(key)
 
     result = benchmark(

@@ -1,19 +1,18 @@
 """E2 — Table I: required encryptions vs. cache line size.
 
-Regenerates the full 4x5 grid with the paper's >1M drop-out rule and
-benchmarks one representative Monte-Carlo cell per line size.
+Regenerates the full 4x5 grid (engine-backed, with the paper's >1M
+drop-out rule) and benchmarks one representative Monte-Carlo cell per
+line size.
 """
-
-import random
 
 import pytest
 
 from repro.analysis import render_table1, run_table1
 from repro.cache import CacheGeometry
 from repro.core import AttackConfig, GrinchAttack
+from repro.engine import derive_key
+from repro.engine.budget import simulated_effort_budget
 from repro.gift import TracedGift64
-
-from conftest import simulated_effort_budget
 
 
 def test_table1_regeneration(publish):
@@ -36,8 +35,7 @@ def test_table1_regeneration(publish):
 @pytest.mark.parametrize("line_words", [1, 2])
 def test_table1_cell_benchmark(benchmark, line_words):
     """Benchmark the (line_words, probing round 1) cell."""
-    key = random.Random(line_words).getrandbits(128)
-    victim = TracedGift64(key)
+    victim = TracedGift64(derive_key(128, "bench-table1", line_words))
     config = AttackConfig(
         seed=9,
         geometry=CacheGeometry(line_words=line_words),

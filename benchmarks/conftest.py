@@ -6,27 +6,23 @@ printing it, so the reproduced numbers survive pytest's output capture.
 
 Set ``REPRO_FULL=1`` to run the Monte-Carlo sweeps at full size (every
 cell simulated up to the paper's 1M drop-out threshold) instead of the
-quick defaults.
+quick defaults.  The budget policy itself lives in
+:mod:`repro.engine.budget` — re-exported here so existing call sites
+keep working — which is also what ``python -m repro run --full`` uses,
+so the harness and the CLI can never disagree on what "full" means.
 """
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
 
+from repro.engine.budget import full_mode, simulated_effort_budget
+
+__all__ = ["full_mode", "simulated_effort_budget"]
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def full_mode() -> bool:
-    """Whether the expensive full-fidelity sweeps were requested."""
-    return os.environ.get("REPRO_FULL", "") not in ("", "0")
-
-
-def simulated_effort_budget() -> float:
-    """Per-cell Monte-Carlo budget for the sweep harnesses."""
-    return 1_500_000.0 if full_mode() else 20_000.0
 
 
 @pytest.fixture(scope="session")

@@ -11,9 +11,8 @@ segment's two key bits, making the taxonomy quantitative.
 Run:  python examples/attack_taxonomy.py
 """
 
-import random
-
 from repro import AttackConfig, GrinchAttack, TracedGift64
+from repro.engine import derive_key
 from repro.gift import round_keys
 from repro.variants import TimeDrivenAttack, TraceDrivenAttack
 
@@ -21,7 +20,7 @@ SEGMENT = 6
 
 
 def main() -> None:
-    key = random.Random(1605).getrandbits(128)
+    key = derive_key(128, "example-taxonomy", 1605)
     victim = TracedGift64(key)
     u1, v1 = round_keys(key, 1, width=64)[0]
     true_pair = ((v1 >> SEGMENT) & 1, (u1 >> SEGMENT) & 1)

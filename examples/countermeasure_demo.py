@@ -12,12 +12,11 @@ Shows the two distinct protection arguments:
 Run:  python examples/countermeasure_demo.py
 """
 
-import random
-
 from repro.countermeasures import (
     evaluate_hardened_schedule,
     evaluate_reshaped_sbox,
 )
+from repro.engine import derive_key
 
 
 def _describe(report) -> None:
@@ -40,7 +39,7 @@ def _describe(report) -> None:
 
 
 def main() -> None:
-    key = random.Random(1).getrandbits(128)
+    key = derive_key(128, "example-countermeasures", 1)
     print("GRINCH vs. the paper's countermeasures")
     print("======================================\n")
 

@@ -7,31 +7,38 @@ whose expected effort exceeds the Monte-Carlo budget fall back to the
 validated analytic model (marked 'analytic'); set REPRO_FULL=1 to
 simulate everything.
 
-Run:  python examples/figure3.py
+The sweep itself goes through the experiment engine, so repeated runs
+are served from the content-addressed result cache and extra workers
+speed up a cold run:  python examples/figure3.py  (REPRO_WORKERS=4 ...)
 """
 
 import os
 
-from repro.analysis import (
-    flush_advantage,
-    growth_factor_per_round,
-    render_figure3,
-    run_figure3,
-)
+from repro.analysis import flush_advantage, growth_factor_per_round
+from repro.engine import render_record, run_experiment, simulated_effort_budget
 
 
 def main() -> None:
-    full = os.environ.get("REPRO_FULL", "") not in ("", "0")
-    budget = 1_500_000.0 if full else 20_000.0
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    record = run_experiment(
+        "figure3",
+        {"runs": 2, "max_simulated_effort": simulated_effort_budget()},
+        workers=workers,
+    )
+    print(render_record(record))
 
-    result = run_figure3(runs=2, max_simulated_effort=budget)
-    print(render_figure3(result))
+    telemetry = record["telemetry"]
+    print(f"\n[{telemetry['trials_total']} trials in "
+          f"{telemetry['wall_time_s']:.2f} s at {workers} worker(s), "
+          f"cache {telemetry['cache']}]")
 
     print("\nShape checks against the paper")
     print("------------------------------")
-    with_flush = result.series(True)
+    round1 = next(c for c in record["cells"]
+                  if c["cell"]["probing_round"] == 1
+                  and c["cell"]["use_flush"])
     print(f"probing round 1 with flush: "
-          f"{with_flush[0].encryptions:,.0f} encryptions "
+          f"{round1['encryptions']:,.0f} encryptions "
           f"(paper: ~100 for the 32-bit first round)")
     print(f"effort growth per probing round: "
           f"x{growth_factor_per_round(1):.2f} "

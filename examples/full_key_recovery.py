@@ -9,15 +9,13 @@ the recovered round keys reassemble into the master key.
 Run:  python examples/full_key_recovery.py
 """
 
-import random
-
 from repro import AttackConfig, GrinchAttack, TracedGift64
+from repro.engine import derive_key
 from repro.gift import round_keys
 
 
 def main() -> None:
-    rng = random.Random(7)
-    secret_key = rng.getrandbits(128)
+    secret_key = derive_key(128, "example-full-key", 7)
     victim = TracedGift64(secret_key)
     attack = GrinchAttack(victim, AttackConfig(seed=9))
 

@@ -16,13 +16,12 @@ the generalised attack and highlights the structural differences:
 Run:  python examples/gift128_attack.py
 """
 
-import random
-
 from repro import AttackConfig, CacheGeometry, GrinchAttack, TracedGift128
+from repro.engine import derive_key
 
 
 def main() -> None:
-    key = random.Random(128).getrandbits(128)
+    key = derive_key(128, "example-gift128", 128)
     victim = TracedGift128(key)
 
     print("GRINCH vs. GIFT-128")

@@ -15,22 +15,21 @@ This example plays the whole story on the MPSoC model:
 Run:  python examples/iot_telemetry_attack.py
 """
 
-import random
-
 from repro import AttackConfig, GrinchAttack, TracedGift64
 from repro.core import NoiseModel
+from repro.engine import derive_key, derive_rng
 from repro.soc import ClockDomain, MPSoC
 
 
 def main() -> None:
-    rng = random.Random(314)
-    provisioned_key = rng.getrandbits(128)
+    provisioned_key = derive_key(128, "example-iot", 314)
     sensor_hub = TracedGift64(provisioned_key)
 
     print("IoT telemetry attack scenario")
     print("=============================\n")
 
     # -- Step 1: the device operates normally ---------------------------
+    rng = derive_rng("example-iot-telemetry", 314)
     telemetry = [rng.getrandbits(64) for _ in range(3)]
     frames = [sensor_hub.encrypt(t) for t in telemetry]
     print("sensor hub transmits encrypted telemetry frames:")

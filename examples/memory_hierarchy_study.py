@@ -18,15 +18,14 @@ Findings (regenerated live below):
 Run:  python examples/memory_hierarchy_study.py
 """
 
-import random
-
 from repro import AttackConfig, GrinchAttack, TracedGift64
 from repro.cache import InclusionPolicy
 from repro.core import AttackError, make_cross_core_runner
+from repro.engine import derive_key
 
 
 def main() -> None:
-    key = random.Random(2718).getrandbits(128)
+    key = derive_key(128, "example-hierarchy", 2718)
     victim = TracedGift64(key)
 
     print("GRINCH across a two-level hierarchy (victim core 0, attacker core 1)")

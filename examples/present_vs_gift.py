@@ -11,9 +11,8 @@ the implementations.
 Run:  python examples/present_vs_gift.py
 """
 
-import random
-
 from repro import Present, TracedGift64
+from repro.engine import derive_rng
 
 
 def _distinct_footprints(get_indices, keys, plaintext):
@@ -22,7 +21,7 @@ def _distinct_footprints(get_indices, keys, plaintext):
 
 
 def main() -> None:
-    rng = random.Random(5)
+    rng = derive_rng("example-present-vs-gift", 5)
     plaintext = rng.getrandbits(64)
     gift_keys = [rng.getrandbits(128) for _ in range(32)]
     present_keys = [rng.getrandbits(80) for _ in range(32)]

@@ -8,13 +8,12 @@ enabled, 1-word cache lines) and prints the recovered key.
 Run:  python examples/quickstart.py
 """
 
-import random
-
 from repro import AttackConfig, GrinchAttack, TracedGift64
+from repro.engine import derive_key
 
 
 def main() -> None:
-    secret_key = random.Random(2021).getrandbits(128)
+    secret_key = derive_key(128, "example-quickstart", 2021)
     victim = TracedGift64(master_key=secret_key)
 
     print("GRINCH quickstart")

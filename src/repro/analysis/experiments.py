@@ -1,48 +1,65 @@
 """Experiment runners regenerating every table and figure of the paper.
 
-* :func:`run_figure3`  — Fig. 3: encryptions to break the first GIFT
-  round vs. cache probing round, with and without flush.
-* :func:`run_table1`   — Table I: the same effort across cache line
-  sizes of 1/2/4/8 words, with the paper's >1M drop-out rule.
-* :func:`run_table2`   — Table II: the round each platform actually
-  probes at 10/25/50 MHz.
-* :func:`run_full_key` — the headline "full 128-bit key in under ~400
-  encryptions" experiment.
-* :func:`run_probe_strategy_ablation` / :func:`validate_theory` — the
-  two ablations registered in DESIGN.md (E6, E7).
+Since the unified engine refactor these are *thin callers* of
+:mod:`repro.engine`: each ``run_*`` function resolves its experiment
+from the declarative registry, hands the sweep to the engine's
+parallel trial executor, and converts the JSON record back into the
+typed result objects the reporting layer and the test-suite use.
 
-Monte-Carlo cells whose *expected* effort exceeds ``max_simulated_effort``
-are filled from the analytic model instead (the model is validated
-against simulation by E7), so the default harness stays fast; passing a
-large ``max_simulated_effort`` reproduces everything by brute force.
+* :func:`run_figure3`  — Fig. 3 (engine experiment ``figure3`` / E1).
+* :func:`run_table1`   — Table I (``table1`` / E2).
+* :func:`run_table2`   — Table II (``table2`` / E3).
+* :func:`run_full_key` — the <400-encryption headline (``full_key`` / E4).
+* :func:`run_probe_strategy_ablation`, :func:`run_noise_sweep`,
+  :func:`validate_theory` — the E6/E9/E7 ablations.
+
+All of them accept ``workers=N`` to fan the Monte-Carlo trials out over
+worker processes; results are bit-identical at any worker count.  The
+wrappers always recompute (``use_cache=False``), matching their
+historical semantics; callers who want the content-addressed result
+cache use :func:`repro.engine.run_experiment` directly.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..cache.geometry import CacheGeometry
-from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
-from ..core.errors import BudgetExceeded
-from ..gift.lut import TracedGift64
-from ..soc.clock import PAPER_FREQUENCIES_HZ, ClockDomain
-from ..soc.platform import MPSoC, ProbeReport, SingleCoreSoC
+from ..engine import run_experiment
+from ..engine.experiments import DROPOUT_THRESHOLD
+from ..gift.lut import TableLayout
+from ..soc.clock import PAPER_FREQUENCIES_HZ
+from ..soc.platform import ProbeReport
 from .statistics import Summary
-from .theory import expected_first_round_effort
 
-#: Paper's drop-out threshold for Table I.
-DROPOUT_THRESHOLD: int = 1_000_000
+__all__ = [
+    "DROPOUT_THRESHOLD",
+    "Figure3Point",
+    "Figure3Result",
+    "FullKeyResultSummary",
+    "NoiseSweepRow",
+    "ProbeAblationRow",
+    "Table1Cell",
+    "Table1Result",
+    "Table2Result",
+    "TheoryValidationRow",
+    "figure3_result_from_record",
+    "run_figure3",
+    "run_full_key",
+    "run_noise_sweep",
+    "run_probe_strategy_ablation",
+    "run_table1",
+    "run_table2",
+    "table1_result_from_record",
+    "table2_result_from_record",
+    "validate_theory",
+]
 
 
-def _first_round_encryptions(seed: int, config: AttackConfig) -> int:
-    """One Monte-Carlo sample: encryptions to attack round 1."""
-    rng = random.Random(seed)
-    victim = TracedGift64(rng.getrandbits(128), layout=config.layout)
-    attack = GrinchAttack(victim, config)
-    return attack.attack_first_round().encryptions
+def _summary_from_trials(trials: Sequence[float]) -> Optional[Summary]:
+    samples = [float(value) for value in trials if value is not None]
+    return Summary.of(samples) if samples else None
 
 
 # ----------------------------------------------------------------------
@@ -74,53 +91,38 @@ class Figure3Result:
         )
 
 
+def figure3_result_from_record(record: Dict[str, Any]) -> Figure3Result:
+    """Typed view of an engine ``figure3`` record."""
+    result = Figure3Result()
+    for cell in record["cells"]:
+        result.points.append(Figure3Point(
+            probing_round=cell["cell"]["probing_round"],
+            use_flush=cell["cell"]["use_flush"],
+            encryptions=cell["encryptions"],
+            simulated=cell["simulated"],
+            summary=_summary_from_trials(cell["trials"]),
+        ))
+    return result
+
+
 def run_figure3(probing_rounds: Sequence[int] = tuple(range(1, 11)),
                 runs: int = 3,
                 seed: int = 0,
-                max_simulated_effort: float = 30_000.0) -> Figure3Result:
+                max_simulated_effort: float = 30_000.0,
+                workers: int = 1) -> Figure3Result:
     """Regenerate Fig. 3 (line size fixed at the default 1 word)."""
-    if runs < 1:
-        raise ValueError(f"runs must be positive, got {runs}")
-    result = Figure3Result()
-    for use_flush in (True, False):
-        for probing_round in probing_rounds:
-            expected = expected_first_round_effort(
-                line_words=1, probing_round=probing_round,
-                use_flush=use_flush,
-            )
-            if expected <= max_simulated_effort:
-                config = AttackConfig(
-                    probing_round=probing_round,
-                    use_flush=use_flush,
-                    seed=seed,
-                    max_total_encryptions=None,
-                )
-                samples = [
-                    float(_first_round_encryptions(
-                        seed * 1000 + probing_round * 10 + run, config
-                    ))
-                    for run in range(runs)
-                ]
-                summary = Summary.of(samples)
-                result.points.append(
-                    Figure3Point(
-                        probing_round=probing_round,
-                        use_flush=use_flush,
-                        encryptions=summary.mean,
-                        simulated=True,
-                        summary=summary,
-                    )
-                )
-            else:
-                result.points.append(
-                    Figure3Point(
-                        probing_round=probing_round,
-                        use_flush=use_flush,
-                        encryptions=expected,
-                        simulated=False,
-                    )
-                )
-    return result
+    record = run_experiment(
+        "figure3",
+        {
+            "probing_rounds": list(probing_rounds),
+            "runs": runs,
+            "seed": seed,
+            "max_simulated_effort": max_simulated_effort,
+        },
+        workers=workers,
+        use_cache=False,
+    )
+    return figure3_result_from_record(record)
 
 
 # ----------------------------------------------------------------------
@@ -172,64 +174,42 @@ class Table1Result:
         return rendered
 
 
+def table1_result_from_record(record: Dict[str, Any]) -> Table1Result:
+    """Typed view of an engine ``table1`` record."""
+    result = Table1Result()
+    for cell in record["cells"]:
+        result.cells.append(Table1Cell(
+            line_words=cell["cell"]["line_words"],
+            probing_round=cell["cell"]["probing_round"],
+            encryptions=cell["encryptions"],
+            dropped_out=cell["dropped_out"],
+            simulated=cell["simulated"],
+        ))
+    return result
+
+
 def run_table1(line_sizes: Sequence[int] = (1, 2, 4, 8),
                probing_rounds: Sequence[int] = tuple(range(1, 6)),
                runs: int = 2,
                seed: int = 1,
                max_simulated_effort: float = 30_000.0,
-               dropout_threshold: int = DROPOUT_THRESHOLD) -> Table1Result:
+               dropout_threshold: int = DROPOUT_THRESHOLD,
+               workers: int = 1) -> Table1Result:
     """Regenerate Table I."""
-    if runs < 1:
-        raise ValueError(f"runs must be positive, got {runs}")
-    result = Table1Result()
-    for line_words in line_sizes:
-        for probing_round in probing_rounds:
-            expected = expected_first_round_effort(
-                line_words=line_words, probing_round=probing_round,
-                use_flush=True,
-            )
-            if expected > dropout_threshold:
-                cell = Table1Cell(
-                    line_words=line_words, probing_round=probing_round,
-                    encryptions=None, dropped_out=True, simulated=False,
-                )
-            elif expected <= max_simulated_effort:
-                config = AttackConfig(
-                    geometry=CacheGeometry(line_words=line_words),
-                    probing_round=probing_round,
-                    use_flush=True,
-                    seed=seed,
-                    max_total_encryptions=dropout_threshold,
-                )
-                try:
-                    samples = [
-                        float(_first_round_encryptions(
-                            seed * 7919 + line_words * 101
-                            + probing_round * 13 + run,
-                            config,
-                        ))
-                        for run in range(runs)
-                    ]
-                except BudgetExceeded:
-                    samples = []
-                if samples:
-                    cell = Table1Cell(
-                        line_words=line_words, probing_round=probing_round,
-                        encryptions=Summary.of(samples).mean,
-                        dropped_out=False, simulated=True,
-                    )
-                else:
-                    cell = Table1Cell(
-                        line_words=line_words, probing_round=probing_round,
-                        encryptions=None, dropped_out=True, simulated=True,
-                    )
-            else:
-                cell = Table1Cell(
-                    line_words=line_words, probing_round=probing_round,
-                    encryptions=expected, dropped_out=False, simulated=False,
-                )
-            result.cells.append(cell)
-    return result
+    record = run_experiment(
+        "table1",
+        {
+            "line_sizes": list(line_sizes),
+            "probing_rounds": list(probing_rounds),
+            "runs": runs,
+            "seed": seed,
+            "max_simulated_effort": max_simulated_effort,
+            "dropout_threshold": dropout_threshold,
+        },
+        workers=workers,
+        use_cache=False,
+    )
+    return table1_result_from_record(record)
 
 
 # ----------------------------------------------------------------------
@@ -265,17 +245,31 @@ class Table2Result:
         ]
 
 
-def run_table2(frequencies: Sequence[float] = PAPER_FREQUENCIES_HZ
-               ) -> Table2Result:
-    """Regenerate Table II on the simulated platforms."""
+def table2_result_from_record(record: Dict[str, Any]) -> Table2Result:
+    """Typed view of an engine ``table2`` record."""
     result = Table2Result()
-    for frequency in frequencies:
-        clock = ClockDomain(frequency)
-        result.reports.append(SingleCoreSoC(clock).run_attack_window())
-    for frequency in frequencies:
-        clock = ClockDomain(frequency)
-        result.reports.append(MPSoC(clock).run_attack_window())
+    for cell in record["cells"]:
+        result.reports.append(ProbeReport(
+            platform=cell["cell"]["platform"],
+            frequency_hz=cell["cell"]["frequency_mhz"] * 1e6,
+            probed_round=cell["probed_round"],
+            probe_time_s=cell["probe_time_s"],
+            round_duration_s=cell["round_duration_s"],
+            probe_latency_s=cell["probe_latency_s"],
+        ))
     return result
+
+
+def run_table2(frequencies: Sequence[float] = PAPER_FREQUENCIES_HZ,
+               workers: int = 1) -> Table2Result:
+    """Regenerate Table II on the simulated platforms."""
+    record = run_experiment(
+        "table2",
+        {"frequencies_mhz": [int(f / 1e6) for f in frequencies]},
+        workers=workers,
+        use_cache=False,
+    )
+    return table2_result_from_record(record)
 
 
 # ----------------------------------------------------------------------
@@ -292,33 +286,37 @@ class FullKeyResultSummary:
 
 
 def run_full_key(runs: int = 3, seed: int = 0,
-                 config: Optional[AttackConfig] = None
-                 ) -> FullKeyResultSummary:
+                 config: Optional[AttackConfig] = None,
+                 workers: int = 1) -> FullKeyResultSummary:
     """Run complete 128-bit recoveries and summarise the effort."""
-    if runs < 1:
-        raise ValueError(f"runs must be positive, got {runs}")
     base = config if config is not None else AttackConfig()
-    totals = []
-    all_ok = True
-    for run in range(runs):
-        rng = random.Random(seed * 31 + run)
-        key = rng.getrandbits(128)
-        victim = TracedGift64(key, layout=base.layout)
-        attack_config = AttackConfig(
-            geometry=base.geometry, layout=base.layout,
-            probing_round=base.probing_round, use_flush=base.use_flush,
-            probe_strategy=base.probe_strategy,
-            max_encryptions_per_segment=base.max_encryptions_per_segment,
-            max_total_encryptions=base.max_total_encryptions,
-            seed=seed * 101 + run,
+    if base.layout != TableLayout():
+        raise ValueError(
+            "the engine's full_key experiment uses the default table "
+            "layout; run GrinchAttack directly for custom layouts"
         )
-        result = GrinchAttack(victim, attack_config).recover_master_key()
-        all_ok = all_ok and result.master_key == key
-        totals.append(float(result.total_encryptions))
+    record = run_experiment(
+        "full_key",
+        {
+            "runs": runs,
+            "seed": seed,
+            "line_words": base.geometry.line_words,
+            "probing_round": base.probing_round,
+            "use_flush": base.use_flush,
+            "probe_strategy": base.probe_strategy,
+            "max_encryptions_per_segment": base.max_encryptions_per_segment,
+            "max_total_encryptions": base.max_total_encryptions or 0,
+        },
+        workers=workers,
+        use_cache=False,
+    )
+    cell = record["cells"][0]
     return FullKeyResultSummary(
         runs=runs,
-        all_recovered=all_ok,
-        encryptions=Summary.of(totals),
+        all_recovered=cell["all_recovered"],
+        encryptions=Summary.of(
+            [float(t["encryptions"]) for t in cell["trials"]]
+        ),
     )
 
 
@@ -335,7 +333,8 @@ class ProbeAblationRow:
     recovered: bool
 
 
-def run_probe_strategy_ablation(seed: int = 0, runs: int = 2
+def run_probe_strategy_ablation(seed: int = 0, runs: int = 2,
+                                workers: int = 1
                                 ) -> List[ProbeAblationRow]:
     """Compare Flush+Reload and Prime+Probe on the round-1 attack (E6).
 
@@ -344,31 +343,18 @@ def run_probe_strategy_ablation(seed: int = 0, runs: int = 2
     so it needs more encryptions — the paper's reasoning for choosing
     Flush+Reload.
     """
-    rows = []
-    for strategy in ("flush_reload", "prime_probe"):
-        samples = []
-        recovered = True
-        for run in range(runs):
-            config = AttackConfig(
-                probe_strategy=strategy,
-                stall_window=200 if strategy == "prime_probe" else 0,
-                seed=seed + run,
-                max_total_encryptions=None,
-            )
-            rng = random.Random(seed * 17 + run)
-            victim = TracedGift64(rng.getrandbits(128))
-            attack = GrinchAttack(victim, config)
-            outcome = attack.attack_first_round()
-            samples.append(float(outcome.encryptions))
-            recovered = recovered and outcome.recovered_bits >= 16
-        rows.append(
-            ProbeAblationRow(
-                strategy=strategy,
-                encryptions=Summary.of(samples).mean,
-                recovered=recovered,
-            )
+    record = run_experiment(
+        "probe_ablation", {"seed": seed, "runs": runs},
+        workers=workers, use_cache=False,
+    )
+    return [
+        ProbeAblationRow(
+            strategy=cell["cell"]["strategy"],
+            encryptions=cell["encryptions"],
+            recovered=cell["recovered"],
         )
-    return rows
+        for cell in record["cells"]
+    ]
 
 
 @dataclass(frozen=True)
@@ -383,8 +369,9 @@ class NoiseSweepRow:
 
 def run_noise_sweep(levels: Sequence[Tuple[float, int]] = (
         (0.0, 0), (0.2, 1), (0.5, 2), (0.8, 4)),
-        runs: int = 2, seed: int = 5) -> List[NoiseSweepRow]:
-    """Effort of the first-round attack vs. co-runner noise.
+        runs: int = 2, seed: int = 5,
+        workers: int = 1) -> List[NoiseSweepRow]:
+    """Effort of the first-round attack vs. co-runner noise (E9).
 
     Quantifies Section IV-B1's qualitative statement that "the
     efficiency of the attack depends on the amount of noise (e.g.,
@@ -392,36 +379,21 @@ def run_noise_sweep(levels: Sequence[Tuple[float, int]] = (
     lines to each observation, so recovery stays exact — the cost is
     slower elimination.
     """
-    from ..core.noise import NoiseModel
-
-    rows = []
-    for touch_probability, monitored_touches in levels:
-        samples = []
-        recovered = True
-        for run in range(runs):
-            config = AttackConfig(
-                seed=seed + run,
-                noise=NoiseModel(
-                    touch_probability=touch_probability,
-                    monitored_touches=monitored_touches,
-                ),
-                max_total_encryptions=None,
-            )
-            rng = random.Random(seed * 23 + run)
-            victim = TracedGift64(rng.getrandbits(128))
-            attack = GrinchAttack(victim, config)
-            outcome = attack.attack_first_round()
-            samples.append(float(outcome.encryptions))
-            recovered = recovered and outcome.recovered_bits == 32
-        rows.append(
-            NoiseSweepRow(
-                touch_probability=touch_probability,
-                monitored_touches=monitored_touches,
-                encryptions=Summary.of(samples).mean,
-                recovered=recovered,
-            )
+    record = run_experiment(
+        "noise_sweep",
+        {"levels": [list(level) for level in levels],
+         "runs": runs, "seed": seed},
+        workers=workers, use_cache=False,
+    )
+    return [
+        NoiseSweepRow(
+            touch_probability=cell["cell"]["touch_probability"],
+            monitored_touches=cell["cell"]["monitored_touches"],
+            encryptions=cell["encryptions"],
+            recovered=cell["recovered"],
         )
-    return rows
+        for cell in record["cells"]
+    ]
 
 
 @dataclass(frozen=True)
@@ -441,29 +413,21 @@ class TheoryValidationRow:
 
 def validate_theory(cases: Sequence[Tuple[int, int]] = ((1, 1), (1, 2),
                                                         (1, 3), (2, 1)),
-                    runs: int = 5, seed: int = 3
-                    ) -> List[TheoryValidationRow]:
-    """Check the analytic effort model against simulation."""
-    rows = []
-    for line_words, probing_round in cases:
-        config = AttackConfig(
-            geometry=CacheGeometry(line_words=line_words),
-            probing_round=probing_round,
-            seed=seed,
-            max_total_encryptions=None,
+                    runs: int = 5, seed: int = 3,
+                    workers: int = 1) -> List[TheoryValidationRow]:
+    """Check the analytic effort model against simulation (E7)."""
+    record = run_experiment(
+        "theory_validation",
+        {"cases": [list(case) for case in cases],
+         "runs": runs, "seed": seed},
+        workers=workers, use_cache=False,
+    )
+    return [
+        TheoryValidationRow(
+            line_words=cell["cell"]["line_words"],
+            probing_round=cell["cell"]["probing_round"],
+            predicted=cell["predicted"],
+            measured=cell["measured"],
         )
-        samples = [
-            float(_first_round_encryptions(seed * 97 + run, config))
-            for run in range(runs)
-        ]
-        rows.append(
-            TheoryValidationRow(
-                line_words=line_words,
-                probing_round=probing_round,
-                predicted=expected_first_round_effort(
-                    line_words, probing_round, use_flush=True
-                ),
-                measured=Summary.of(samples).mean,
-            )
-        )
-    return rows
+        for cell in record["cells"]
+    ]

@@ -1,49 +1,52 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Exposes the headline attack and every experiment harness:
+Exposes the headline attack and the unified experiment engine:
 
 .. code-block:: console
 
    $ python -m repro attack --seed 7
    $ python -m repro attack --width 128 --line-words 2
-   $ python -m repro figure3
-   $ python -m repro table1 --full
-   $ python -m repro table2
-   $ python -m repro countermeasures
+   $ python -m repro run --list
+   $ python -m repro run table1 --workers 4 --seed 7 --json
+   $ python -m repro run E9 --set levels=0.0:0,0.5:2 --no-cache
+   $ python -m repro figure3            # legacy alias of `run figure3`
    $ python -m repro theory --line-words 4
+
+``run`` executes any registered experiment (E1–E13) through
+:mod:`repro.engine`: Monte-Carlo trials fan out over ``--workers``
+processes (bit-identical results at any worker count), finished records
+are served from the content-addressed result cache, and ``--json``
+emits the schema-validated artifact record.  The historical
+``figure3``/``table1``/``table2``/``countermeasures`` subcommands
+delegate to the same registry.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis import (
     expected_first_round_effort,
     flush_advantage,
     growth_factor_per_round,
     practical_probing_round_limit,
-    render_figure3,
-    render_table1,
-    render_table2,
-    run_figure3,
-    run_table1,
-    run_table2,
 )
 from .cache.geometry import CacheGeometry
 from .core import AttackConfig, GrinchAttack
-from .countermeasures import (
-    evaluate_hardened_schedule,
-    evaluate_reshaped_sbox,
+from .engine import (
+    FULL_EFFORT,
+    ProgressPrinter,
+    derive_key,
+    get as get_experiment,
+    names as experiment_names,
+    render_record,
+    results_dir,
+    run_experiment,
 )
 from .gift.lut import TracedGift64, TracedGift128
-
-#: Monte-Carlo budget per cell in quick (default) mode.
-QUICK_EFFORT = 20_000.0
-#: Monte-Carlo budget with ``--full`` (the paper's drop-out threshold).
-FULL_EFFORT = 1_500_000.0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,7 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "attack", help="run a full GRINCH key recovery"
     )
     attack.add_argument("--key", type=lambda v: int(v, 16), default=None,
-                        help="victim master key (hex; default: random)")
+                        help="victim master key (hex; default: derived "
+                             "from --seed)")
     attack.add_argument("--width", type=int, choices=(64, 128), default=64,
                         help="GIFT variant (default: 64)")
     attack.add_argument("--seed", type=int, default=0,
@@ -70,6 +74,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="disable the mid-encryption flush")
     attack.add_argument("--probe", choices=("flush_reload", "prime_probe"),
                         default="flush_reload", help="probing primitive")
+
+    run = commands.add_parser(
+        "run",
+        help="run a registered experiment through the engine (E1-E13)",
+    )
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="experiment name or DESIGN.md ID (see --list)")
+    run.add_argument("--list", action="store_true", dest="list_experiments",
+                     help="list the registered experiments and exit")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the Monte-Carlo fan-out")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the experiment's seed parameter")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the JSON artifact record instead of "
+                          "the ASCII rendering")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the content-addressed result cache")
+    run.add_argument("--full", action="store_true",
+                     help="raise the Monte-Carlo budget past the 1M "
+                          "drop-out (equivalent to REPRO_FULL=1)")
+    run.add_argument("--set", dest="assignments", action="append",
+                     default=[], metavar="NAME=VALUE",
+                     help="override an experiment parameter "
+                          "(repeatable; see --list for the specs)")
 
     for name, help_text in (
         ("figure3", "regenerate Fig. 3 (effort vs. probing round)"),
@@ -110,7 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_attack(args: argparse.Namespace) -> int:
     key = args.key
     if key is None:
-        key = random.Random(args.seed ^ 0xA77AC4).getrandbits(128)
+        key = derive_key(128, "cli-attack", args.seed)
     victim_cls = TracedGift64 if args.width == 64 else TracedGift128
     victim = victim_cls(key)
     config = AttackConfig(
@@ -132,34 +161,123 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0 if result.master_key == key else 1
 
 
-def _cmd_figure3(args: argparse.Namespace) -> int:
-    budget = FULL_EFFORT if args.full else QUICK_EFFORT
-    print(render_figure3(run_figure3(runs=args.runs,
-                                     max_simulated_effort=budget)))
+# ----------------------------------------------------------------------
+# The engine front-end
+# ----------------------------------------------------------------------
+
+def _parse_assignments(experiment_name: str,
+                       assignments: List[str]) -> Dict[str, Any]:
+    spec = get_experiment(experiment_name).spec
+    overrides: Dict[str, Any] = {}
+    for assignment in assignments:
+        name, separator, text = assignment.partition("=")
+        if not separator:
+            raise SystemExit(
+                f"--set expects NAME=VALUE, got {assignment!r}"
+            )
+        try:
+            overrides[name] = spec.get(name).parse(text)
+        except KeyError:
+            known = ", ".join(p.name for p in spec) or "(none)"
+            raise SystemExit(
+                f"unknown parameter {name!r} for {experiment_name}; "
+                f"known: {known}"
+            ) from None
+        except ValueError as error:
+            raise SystemExit(f"--set {assignment!r}: {error}") from None
+    return overrides
+
+
+def _engine_run(name: str, overrides: Optional[Dict[str, Any]] = None,
+                *, workers: int = 1, use_cache: bool = True,
+                as_json: bool = False, progress: bool = False) -> int:
+    record = run_experiment(
+        name,
+        overrides,
+        workers=workers,
+        use_cache=use_cache,
+        artifact_dir=results_dir(),
+        progress=ProgressPrinter() if progress else None,
+    )
+    if as_json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(render_record(record))
+        telemetry = record["telemetry"]
+        print(f"[{record['experiment_id']} {record['experiment']}: "
+              f"{telemetry['trials_total']} trials, "
+              f"{telemetry['wall_time_s']:.2f} s, "
+              f"{telemetry['trials_per_s']:.1f} trials/s, "
+              f"cache {telemetry['cache']}]")
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_experiments or args.experiment is None:
+        if args.experiment is None and not args.list_experiments:
+            print("usage: python -m repro run <experiment> [options]\n")
+        for name in experiment_names():
+            experiment = get_experiment(name)
+            print(f"{experiment.experiment_id:>4}  {name:<20} "
+                  f"{experiment.title}")
+            for param in experiment.spec:
+                print(f"      --set {param.name}=... "
+                      f"[{param.kind}, default {param.default!r}] "
+                      f"{param.help}")
+        return 0
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        raise SystemExit(str(error)) from None
+    overrides = _parse_assignments(experiment.name, args.assignments)
+    param_names = {param.name for param in experiment.spec}
+    if args.seed is not None:
+        if "seed" not in param_names:
+            raise SystemExit(
+                f"{experiment.name} has no seed parameter"
+            )
+        overrides.setdefault("seed", args.seed)
+    if args.full and "max_simulated_effort" in param_names:
+        overrides.setdefault("max_simulated_effort", FULL_EFFORT)
+    return _engine_run(
+        experiment.name,
+        overrides,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        as_json=args.as_json,
+        progress=not args.as_json,
+    )
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    overrides = {"runs": args.runs}
+    if args.full:
+        overrides["max_simulated_effort"] = FULL_EFFORT
+    return _engine_run("figure3", overrides)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    budget = FULL_EFFORT if args.full else QUICK_EFFORT
-    print(render_table1(run_table1(runs=args.runs,
-                                   max_simulated_effort=budget)))
-    return 0
+    overrides = {"runs": args.runs}
+    if args.full:
+        overrides["max_simulated_effort"] = FULL_EFFORT
+    return _engine_run("table1", overrides)
 
 
 def _cmd_table2(_: argparse.Namespace) -> int:
-    print(render_table2(run_table2()))
-    return 0
+    return _engine_run("table2")
 
 
 def _cmd_countermeasures(args: argparse.Namespace) -> int:
-    key = random.Random(args.seed ^ 0xC0DE).getrandbits(128)
-    for report in (evaluate_reshaped_sbox(key, seed=args.seed),
-                   evaluate_hardened_schedule(key, seed=args.seed)):
-        verdict = "defeated" if report.attack_defeated else "NOT defeated"
-        leak = ("channel closed" if not report.protected_leakage.leaks
+    record = run_experiment(
+        "countermeasures", {"seed": args.seed},
+        artifact_dir=results_dir(),
+    )
+    for cell in record["cells"]:
+        verdict = "defeated" if cell["attack_defeated"] else "NOT defeated"
+        leak = ("channel closed" if not cell["protected_leaks"]
                 else "channel still open")
-        print(f"{report.name}: GRINCH {verdict} "
-              f"({report.failure_mode or 'key recovered'}), {leak}")
+        print(f"{cell['name']}: GRINCH {verdict} "
+              f"({cell['failure_mode'] or 'key recovered'}), {leak}")
     return 0
 
 
@@ -188,6 +306,7 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "attack": _cmd_attack,
+    "run": _cmd_run,
     "figure3": _cmd_figure3,
     "table1": _cmd_table1,
     "table2": _cmd_table2,

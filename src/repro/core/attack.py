@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import itertools
 import math
-import random
 from typing import Dict, List, Optional, Tuple
 
+from ..engine.seeding import derive_rng
 from ..gift.cipher import GiftCipher
 from ..gift.lut import TracedGiftCipher
 from .config import AttackConfig
@@ -89,7 +89,10 @@ class GrinchAttack:
         self.runner = (runner if runner is not None
                        else CacheAttackRunner(victim, self.config))
         self.monitor = self.runner.monitor
-        self.rng = random.Random(self.config.seed)
+        # Plaintext-crafting stream; derived (not raw-seeded) so it is
+        # independent of the runner's noise stream and reproducible even
+        # for seed=None — see repro.engine.seeding.
+        self.rng = derive_rng("attack-crafting", self.config.seed)
         self.total_encryptions = 0
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from ..cache.multilevel import (
     InclusionPolicy,
     TwoLevelHierarchy,
 )
+from ..engine.seeding import derive_rng
 from ..gift.lut import TracedGiftCipher
 from .config import AttackConfig
 from .monitor import SboxMonitor
@@ -59,9 +60,8 @@ class CrossCoreRunner:
             )
         self.hierarchy = hierarchy
         self._monitored_addresses = self.monitor.line_addresses()
-        self._noise_rng = rng if rng is not None else random.Random(
-            None if config.seed is None else config.seed ^ 0x2C0DE
-        )
+        self._noise_rng = (rng if rng is not None
+                           else derive_rng("crosscore-noise", config.seed))
         self.encryptions_run = 0
 
     @property

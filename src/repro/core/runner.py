@@ -25,6 +25,7 @@ import random
 from typing import FrozenSet, Optional
 
 from ..cache.setassoc import SetAssociativeCache
+from ..engine.seeding import derive_rng
 from ..gift.lut import TracedGiftCipher
 from .config import AttackConfig
 from .monitor import SboxMonitor
@@ -48,9 +49,11 @@ class CacheAttackRunner:
         self.probe: ProbeStrategy = make_probe(
             config.probe_strategy, self.monitor
         )
-        self._noise_rng = rng if rng is not None else random.Random(
-            None if config.seed is None else config.seed ^ 0x5EED
-        )
+        # Scope-derived so the noise stream is independent of the
+        # attacker's crafting stream, and deterministic even when no
+        # seed was configured (seed=None is a valid, reproducible seed).
+        self._noise_rng = (rng if rng is not None
+                           else derive_rng("runner-noise", config.seed))
         self._monitored_addresses = self.monitor.line_addresses()
         self.encryptions_run = 0
 

@@ -1,0 +1,32 @@
+"""Monte-Carlo effort budgets and the ``REPRO_FULL`` switch.
+
+The quick harness simulates every cell whose *expected* effort fits the
+budget and fills the rest from the validated analytic model (E7);
+``REPRO_FULL=1`` raises the budget past the paper's 1M-encryption
+drop-out threshold so everything is brute-forced.
+
+This module is importable from anywhere (it has no repro dependencies),
+replacing the old ``from conftest import simulated_effort_budget``
+cross-import that only worked when pytest's rootdir happened to be
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Per-cell Monte-Carlo budget in quick (default) mode.
+QUICK_EFFORT = 20_000.0
+#: Per-cell budget under ``REPRO_FULL=1`` (above the 1M drop-out rule,
+#: so no finite cell is left to the analytic model).
+FULL_EFFORT = 1_500_000.0
+
+
+def full_mode() -> bool:
+    """Whether the expensive full-fidelity sweeps were requested."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def simulated_effort_budget() -> float:
+    """Per-cell Monte-Carlo budget honouring ``REPRO_FULL``."""
+    return FULL_EFFORT if full_mode() else QUICK_EFFORT

@@ -1,0 +1,107 @@
+"""Content-addressed on-disk result cache.
+
+A finished experiment record is stored under a key derived from
+
+* the experiment's primary name,
+* the canonicalised resolved parameters, and
+* a fingerprint of the ``repro`` source tree,
+
+so a re-run with identical params on identical code is served from disk
+(reported as ``telemetry.cache == "hit"``), while *any* parameter or
+code change misses and recomputes.  Layout::
+
+    benchmarks/results/cache/<experiment>/<digest>.json
+
+The default cache root honours ``REPRO_RESULTS_DIR`` (used by tests and
+CI to redirect artifacts) and otherwise resolves ``benchmarks/results``
+relative to the repository root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from .params import canonical_params
+
+#: Environment variable overriding the results/cache root directory.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+def results_dir() -> Path:
+    """The root directory for result artifacts and the cache."""
+    override = os.environ.get(RESULTS_DIR_ENV)
+    if override:
+        return Path(override)
+    # src/repro/engine/cache.py -> repository root is three levels above
+    # the package directory.
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks" / "results"
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Any edit to the package — experiment definitions, attack core,
+    cache simulator — changes the fingerprint and therefore invalidates
+    every cached record, the conservative choice for a research harness
+    where almost every module can influence a result.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def cache_key(experiment: str, params: Mapping[str, Any],
+              fingerprint: Optional[str] = None) -> str:
+    """The content address of one (experiment, params, code) cell."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    payload = "\x1f".join(
+        (experiment, canonical_params(params), fingerprint)
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ResultCache:
+    """Lookup/store interface over the on-disk record cache."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else results_dir() / "cache"
+
+    def path_for(self, experiment: str, key: str) -> Path:
+        return self.root / experiment / f"{key}.json"
+
+    def lookup(self, experiment: str, key: str
+               ) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key``, or ``None`` on a miss.
+
+        A corrupt cache file (interrupted write, manual edit) is treated
+        as a miss rather than an error.
+        """
+        path = self.path_for(experiment, key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def store(self, experiment: str, key: str,
+              record: Mapping[str, Any]) -> Path:
+        """Atomically persist ``record`` under ``key``."""
+        path = self.path_for(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(record, indent=2, sort_keys=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,137 @@
+"""Parallel Monte-Carlo trial execution.
+
+The executor fans the independent trials of a sweep out over a
+``multiprocessing`` pool.  Determinism is by construction:
+
+* every trial's seed is :func:`repro.engine.seeding.trial_seed` of
+  ``(experiment, params, cell, trial_index)`` — no dependence on the
+  worker count, the pool's scheduling, or completion order;
+* results are reassembled by task index, so the cell records the
+  engine builds from them are bit-identical at any ``--workers``.
+
+Tasks cross the process boundary as plain picklable tuples; the worker
+resolves the experiment's trial function from the registry by name
+(works under both ``fork`` and ``spawn`` start methods).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .registry import CellPlan, Experiment, get
+from .seeding import trial_seed
+from .telemetry import ProgressEvent, ProgressHook
+
+#: (experiment name, resolved params, cell, trial index, derived seed).
+Task = Tuple[str, Dict[str, Any], Dict[str, Any], int, int]
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Executor telemetry for one sweep."""
+
+    trials: int
+    workers: int
+    wall_time_s: float
+
+    @property
+    def trials_per_s(self) -> float:
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.trials / self.wall_time_s
+
+
+def build_tasks(experiment: Experiment, params: Mapping[str, Any],
+                plan: List[CellPlan]) -> List[Tuple[int, Task]]:
+    """Flatten a cell plan into ``(cell_index, task)`` pairs."""
+    tasks: List[Tuple[int, Task]] = []
+    resolved = dict(params)
+    for cell_index, cell_plan in enumerate(plan):
+        for trial_index in range(cell_plan.trials):
+            seed = trial_seed(experiment.name, resolved, cell_plan.cell,
+                              trial_index)
+            tasks.append((
+                cell_index,
+                (experiment.name, resolved, dict(cell_plan.cell),
+                 trial_index, seed),
+            ))
+    return tasks
+
+
+def execute_task(task: Task) -> Any:
+    """Run one trial (in the calling process)."""
+    name, params, cell, trial_index, seed = task
+    experiment = get(name)
+    if experiment.trial is None:
+        raise RuntimeError(f"experiment {name!r} plans trials but defines "
+                           f"no trial function")
+    return experiment.trial(params, cell, trial_index, seed)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps the registry and imports warm; fall back to spawn where
+    # fork is unavailable (the worker then re-imports repro.engine and
+    # the lazy registry reloads the builtin experiments).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_trials(experiment: Experiment, params: Mapping[str, Any],
+               plan: List[CellPlan], workers: int = 1,
+               progress: Optional[ProgressHook] = None
+               ) -> Tuple[List[List[Any]], ExecutionStats]:
+    """Run every planned trial and group results by cell.
+
+    Returns ``(per_cell_results, stats)`` where ``per_cell_results[i]``
+    lists cell ``i``'s trial results in trial-index order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    indexed = build_tasks(experiment, params, plan)
+    started = time.monotonic()
+    results: List[Any] = [None] * len(indexed)
+
+    def note_progress(completed: int) -> None:
+        if progress is not None:
+            progress(ProgressEvent(
+                experiment=experiment.name,
+                completed=completed,
+                total=len(indexed),
+                elapsed_s=time.monotonic() - started,
+            ))
+
+    if workers == 1 or len(indexed) <= 1:
+        effective_workers = 1
+        for position, (_, task) in enumerate(indexed):
+            results[position] = execute_task(task)
+            note_progress(position + 1)
+    else:
+        effective_workers = min(workers, len(indexed))
+        tasks = [task for _, task in indexed]
+        with _pool_context().Pool(processes=effective_workers) as pool:
+            completed = 0
+            # imap_unordered keeps workers saturated; pairing each result
+            # with its task position restores deterministic ordering.
+            for position, value in pool.imap_unordered(
+                    _execute_positioned, list(enumerate(tasks)), chunksize=1):
+                results[position] = value
+                completed += 1
+                note_progress(completed)
+
+    wall = time.monotonic() - started
+    per_cell: List[List[Any]] = [[] for _ in plan]
+    for (cell_index, _), value in zip(indexed, results):
+        per_cell[cell_index].append(value)
+    stats = ExecutionStats(trials=len(indexed), workers=effective_workers,
+                           wall_time_s=wall)
+    return per_cell, stats
+
+
+def _execute_positioned(positioned: Tuple[int, Task]) -> Tuple[int, Any]:
+    position, task = positioned
+    return position, execute_task(task)

@@ -1,0 +1,134 @@
+"""The declarative experiment registry.
+
+Every paper artefact and ablation (DESIGN.md §4, E1–E13) registers here
+as a named :class:`Experiment`: a typed parameter spec plus four hooks
+the engine drives —
+
+* ``plan(params)``     → the list of independent cells of the sweep;
+* ``trial(params, cell, trial_index, seed)`` → one Monte-Carlo sample
+  (must be a module-level function: trials are shipped to worker
+  processes by name);
+* ``finalize(params, cell, trials)`` → the JSON cell record;
+* ``summarize(params, cells)``       → experiment-level summary (optional).
+
+Experiments are resolvable both by friendly name (``"table1"``) and by
+DESIGN.md ID (``"E2"``).  Registration of the built-in experiments is
+lazy (triggered by the first lookup), which keeps ``repro.engine``
+importable from ``repro.core`` without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from .params import ParamSpec
+
+#: A cell: JSON-like mapping of the cell's own sweep coordinates.
+Cell = Dict[str, Any]
+
+PlanHook = Callable[[Mapping[str, Any]], List["CellPlan"]]
+TrialHook = Callable[[Mapping[str, Any], Cell, int, int], Any]
+FinalizeHook = Callable[[Mapping[str, Any], Cell, List[Any]], Dict[str, Any]]
+SummarizeHook = Callable[[Mapping[str, Any], List[Dict[str, Any]]],
+                         Dict[str, Any]]
+RenderHook = Callable[[Dict[str, Any]], str]
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One planned cell: its coordinates and how many trials to run.
+
+    ``trials == 0`` marks a cell the experiment fills without sampling
+    (e.g. Table I's analytic >1M drop-outs); ``finalize`` then receives
+    an empty trial list.
+    """
+
+    cell: Cell
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials < 0:
+            raise ValueError(f"trials must be >= 0, got {self.trials}")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    name: str
+    experiment_id: str
+    title: str
+    spec: ParamSpec
+    plan: PlanHook
+    trial: Optional[TrialHook]
+    finalize: FinalizeHook
+    summarize: Optional[SummarizeHook] = None
+    render: Optional[RenderHook] = None
+    aliases: tuple = field(default_factory=tuple)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+_BUILTINS_LOADED = False
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Register ``experiment`` under its name, ID, and aliases."""
+    keys = (experiment.name, experiment.experiment_id) + experiment.aliases
+    for key in keys:
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing.name != experiment.name:
+            raise ValueError(
+                f"experiment key {key!r} already registered "
+                f"(by {existing.name!r})"
+            )
+    for key in keys:
+        _REGISTRY[key] = experiment
+    return experiment
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    # Imported for their registration side effects; deferred to the
+    # first lookup so repro.core can import repro.engine.seeding without
+    # pulling the experiment definitions (which import repro.core) back
+    # in at module-import time.
+    from . import ablations, experiments  # noqa: F401
+
+
+def get(name: str) -> Experiment:
+    """Resolve an experiment by name, DESIGN.md ID, or alias."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> List[str]:
+    """Primary names of all registered experiments, in E-number order."""
+    _ensure_builtins()
+    unique = {exp.name: exp for exp in _REGISTRY.values()}
+    return sorted(
+        unique,
+        key=lambda n: (_e_number(unique[n].experiment_id), n),
+    )
+
+
+def experiment_ids() -> List[str]:
+    """All registered DESIGN.md IDs (E1, E2, ...)."""
+    _ensure_builtins()
+    ids = {exp.experiment_id for exp in _REGISTRY.values()}
+    return sorted(ids, key=_e_number)
+
+
+def _e_number(experiment_id: str) -> int:
+    try:
+        return int(experiment_id.lstrip("E"))
+    except ValueError:
+        return 10_000

@@ -1,0 +1,56 @@
+"""Progress/telemetry hooks for engine runs.
+
+The engine reports progress through a plain callable so callers choose
+the sink: the CLI prints a live trials-per-second line to stderr, tests
+collect events into a list, and the default is a no-op.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+ProgressHook = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress update, emitted after every completed trial."""
+
+    experiment: str
+    completed: int
+    total: int
+    elapsed_s: float
+
+    @property
+    def trials_per_s(self) -> float:
+        """Trial completion rate so far (0.0 until the clock ticks)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+
+class ProgressPrinter:
+    """Progress hook printing a throttled one-line status to a stream."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_interval_s: float = 0.5) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._last_print = 0.0
+
+    def __call__(self, event: ProgressEvent) -> None:
+        now = time.monotonic()
+        final = event.completed >= event.total
+        if not final and now - self._last_print < self.min_interval_s:
+            return
+        self._last_print = now
+        self.stream.write(
+            f"\r{event.experiment}: trial {event.completed}/{event.total} "
+            f"({event.trials_per_s:.1f} trials/s)"
+        )
+        if final:
+            self.stream.write("\n")
+        self.stream.flush()

@@ -1,0 +1,96 @@
+"""The content-addressed result cache."""
+
+import json
+
+from repro.engine import run_experiment
+from repro.engine.cache import ResultCache, cache_key, results_dir
+
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self):
+        params = {"runs": 2, "seed": 0}
+        assert (cache_key("figure3", params, "f" * 64)
+                == cache_key("figure3", params, "f" * 64))
+
+    def test_param_order_is_irrelevant(self):
+        assert (cache_key("t", {"a": 1, "b": 2}, "f" * 64)
+                == cache_key("t", {"b": 2, "a": 1}, "f" * 64))
+
+    def test_changes_with_params(self):
+        assert (cache_key("t", {"seed": 0}, "f" * 64)
+                != cache_key("t", {"seed": 1}, "f" * 64))
+
+    def test_changes_with_code_fingerprint(self):
+        assert (cache_key("t", {"seed": 0}, "a" * 64)
+                != cache_key("t", {"seed": 0}, "b" * 64))
+
+    def test_changes_with_experiment(self):
+        assert (cache_key("figure3", {}, "f" * 64)
+                != cache_key("table1", {}, "f" * 64))
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = {"schema": "x", "cells": [1, 2, 3]}
+        path = cache.store("exp", "k" * 64, record)
+        assert path.exists()
+        assert cache.lookup("exp", "k" * 64) == record
+
+    def test_miss(self, tmp_path):
+        assert ResultCache(tmp_path).lookup("exp", "0" * 64) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("exp", "c" * 64)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.lookup("exp", "c" * 64) is None
+
+
+class TestResultsDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert results_dir() == tmp_path
+
+    def test_default_is_benchmarks_results(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        path = results_dir()
+        assert path.parts[-2:] == ("benchmarks", "results")
+
+
+class TestEngineCacheIntegration:
+    PARAMS = {"frequencies_mhz": (25,)}
+
+    def test_miss_then_hit(self, tmp_path):
+        first = run_experiment("table2", self.PARAMS, cache_root=tmp_path)
+        assert first["telemetry"]["cache"] == "miss"
+        second = run_experiment("table2", self.PARAMS, cache_root=tmp_path)
+        assert second["telemetry"]["cache"] == "hit"
+        assert second["cells"] == first["cells"]
+
+    def test_param_change_misses(self, tmp_path):
+        run_experiment("table2", self.PARAMS, cache_root=tmp_path)
+        other = run_experiment(
+            "table2", {"frequencies_mhz": (50,)}, cache_root=tmp_path
+        )
+        assert other["telemetry"]["cache"] == "miss"
+
+    def test_code_change_misses(self, tmp_path, monkeypatch):
+        run_experiment("table2", self.PARAMS, cache_root=tmp_path)
+        monkeypatch.setattr("repro.engine.engine.code_fingerprint",
+                            lambda: "0" * 64)
+        stale = run_experiment("table2", self.PARAMS, cache_root=tmp_path)
+        assert stale["telemetry"]["cache"] == "miss"
+
+    def test_disabled_cache_reports_disabled(self, tmp_path):
+        record = run_experiment("table2", self.PARAMS, use_cache=False,
+                                cache_root=tmp_path)
+        assert record["telemetry"]["cache"] == "disabled"
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_artifact_written(self, tmp_path):
+        run_experiment("table2", self.PARAMS, use_cache=False,
+                       artifact_dir=tmp_path)
+        artifact = json.loads((tmp_path / "table2.json").read_text())
+        assert artifact["experiment"] == "table2"

@@ -1,0 +1,59 @@
+"""The declarative experiment registry (tentpole: one index for E1-E13)."""
+
+import pytest
+
+from repro.engine import experiment_ids, get, names, register
+from repro.engine.params import Param, spec
+from repro.engine.registry import CellPlan, Experiment
+
+#: Every experiment DESIGN.md names, by its index ID.
+DESIGN_IDS = [f"E{i}" for i in range(1, 14)]
+
+
+class TestBuiltinRegistry:
+    @pytest.mark.parametrize("experiment_id", DESIGN_IDS)
+    def test_every_design_id_resolves(self, experiment_id):
+        experiment = get(experiment_id)
+        assert experiment.experiment_id == experiment_id
+
+    def test_names_cover_the_design_index(self):
+        assert set(experiment_ids()) == set(DESIGN_IDS)
+
+    def test_lookup_by_name_and_id_agree(self):
+        assert get("figure3") is get("E1")
+        assert get("table1") is get("E2")
+
+    def test_aliases(self):
+        assert get("fig3") is get("figure3")
+
+    def test_unknown_name_lists_the_known_ones(self):
+        with pytest.raises(KeyError) as excinfo:
+            get("figure99")
+        assert "figure3" in str(excinfo.value)
+
+    def test_every_experiment_has_a_plan_and_spec(self):
+        for name in names():
+            experiment = get(name)
+            params = experiment.spec.resolve({})
+            plan = experiment.plan(params)
+            assert plan, f"{name} plans no cells"
+            assert all(isinstance(c, CellPlan) for c in plan)
+
+    def test_param_specs_reject_unknown_overrides(self):
+        with pytest.raises(ValueError):
+            get("figure3").spec.resolve({"no_such_param": 1})
+
+
+class TestRegister:
+    def test_colliding_key_is_rejected(self):
+        experiment = Experiment(
+            name="dup_test",
+            experiment_id="E1",  # collides with the builtin figure3
+            title="duplicate",
+            spec=spec(Param("seed", "int", 0, "seed")),
+            plan=lambda params: [CellPlan(cell={}, trials=1)],
+            trial=lambda params, cell, index, seed: 0,
+            finalize=lambda params, cell, trials: {"cell": cell},
+        )
+        with pytest.raises(ValueError):
+            register(experiment)

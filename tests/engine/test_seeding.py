@@ -1,0 +1,81 @@
+"""The one seed-derivation rule everything else builds on."""
+
+import pytest
+
+from repro.engine.seeding import (
+    canonical,
+    derive_key,
+    derive_rng,
+    derive_seed,
+    trial_seed,
+)
+
+
+class TestCanonical:
+    def test_dict_order_is_irrelevant(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_coincide(self):
+        assert canonical((1, 2, 3)) == canonical([1, 2, 3])
+
+    def test_nested_structures(self):
+        assert (canonical({"cases": ((1, 2), (3, 4))})
+                == canonical({"cases": [[1, 2], [3, 4]]}))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("x", 1) == derive_seed("x", 1)
+
+    def test_scope_separates_streams(self):
+        assert derive_seed("runner-noise", 0) != derive_seed("trial", 0)
+
+    def test_none_is_a_valid_reproducible_seed(self):
+        assert derive_seed("s", None) == derive_seed("s", None)
+        assert derive_seed("s", None) != derive_seed("s", 0)
+
+    def test_fits_a_63_bit_int(self):
+        for part in range(64):
+            assert 0 <= derive_seed("range", part) < 1 << 63
+
+
+class TestDeriveRng:
+    def test_same_parts_same_stream(self):
+        a, b = derive_rng("t", 5), derive_rng("t", 5)
+        assert [a.random() for _ in range(4)] == \
+            [b.random() for _ in range(4)]
+
+    def test_different_parts_different_stream(self):
+        assert derive_rng("t", 5).random() != derive_rng("t", 6).random()
+
+
+class TestDeriveKey:
+    @pytest.mark.parametrize("bits", [64, 80, 128])
+    def test_width(self, bits):
+        key = derive_key(bits, "victim", 0)
+        assert 0 <= key < 1 << bits
+
+    def test_deterministic(self):
+        assert derive_key(128, "victim", 3) == derive_key(128, "victim", 3)
+
+    def test_keys_differ_across_scopes(self):
+        assert derive_key(128, "a", 0) != derive_key(128, "b", 0)
+
+
+class TestTrialSeed:
+    def test_independent_of_param_ordering(self):
+        cell = {"probing_round": 1, "use_flush": True}
+        assert (trial_seed("figure3", {"runs": 2, "seed": 0}, cell, 0)
+                == trial_seed("figure3", {"seed": 0, "runs": 2}, cell, 0))
+
+    def test_varies_with_trial_index(self):
+        cell = {"probing_round": 1}
+        seeds = {trial_seed("figure3", {}, cell, i) for i in range(16)}
+        assert len(seeds) == 16
+
+    def test_varies_with_experiment_and_cell(self):
+        params = {"seed": 0}
+        assert (trial_seed("figure3", params, {"c": 1}, 0)
+                != trial_seed("table1", params, {"c": 1}, 0))
+        assert (trial_seed("figure3", params, {"c": 1}, 0)
+                != trial_seed("figure3", params, {"c": 2}, 0))
