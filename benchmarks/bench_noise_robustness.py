@@ -1,0 +1,50 @@
+"""E14 — lossy-channel robustness of the voting recovery.
+
+Regenerates the miss-probability x eviction-rate sweep (success rate
+and mean encryptions against the 4x lossless budget) and benchmarks one
+complete voting recovery at the acceptance-criterion channel (20%
+per-probe false negatives).
+
+``REPRO_FULL=1`` raises the Monte-Carlo repetitions per cell to the
+50-trial acceptance-criterion size; the quick default keeps the sweep
+in CI territory.
+"""
+
+from repro.core import AttackConfig, GrinchAttack, LossyChannel
+from repro.engine import derive_key, run_experiment
+from repro.engine.budget import full_mode
+from repro.engine.registry import get
+from repro.gift import TracedGift64
+
+
+def test_noise_robustness_regeneration(publish):
+    experiment = get("noise_robustness")
+    runs = 50 if full_mode() else 5
+    record = run_experiment("noise_robustness", {"runs": runs},
+                            workers=2)
+    publish("noise_robustness", experiment.render(record))
+
+    summary = record["summary"]
+    assert summary["lossless_success_rate"] == 1.0
+    # The acceptance-criterion cell: miss 0.2, no co-runner eviction.
+    # The >= 95% claim itself is asserted at the 50-trial size (slow
+    # tier and REPRO_FULL); the quick sweep only guards the regime.
+    criterion = next(
+        cell for cell in record["cells"]
+        if cell["cell"] == {"miss_probability": 0.2,
+                            "eviction_rate": 0.0}
+    )
+    assert criterion["success_rate"] >= (0.95 if full_mode() else 0.8)
+
+
+def test_voting_recovery_benchmark(benchmark):
+    key = derive_key(128, "bench-noise-robustness", 5)
+    victim = TracedGift64(key)
+    config = AttackConfig(seed=5,
+                          loss=LossyChannel(miss_probability=0.2),
+                          max_total_encryptions=1906)
+
+    result = benchmark(
+        lambda: GrinchAttack(victim, config).recover_master_key()
+    )
+    assert result.master_key == key

@@ -12,7 +12,7 @@ Exposes the headline attack and the unified experiment engine:
    $ python -m repro figure3            # legacy alias of `run figure3`
    $ python -m repro theory --line-words 4
 
-``run`` executes any registered experiment (E1–E13) through
+``run`` executes any registered experiment (E1–E14) through
 :mod:`repro.engine`: Monte-Carlo trials fan out over ``--workers``
 processes (bit-identical results at any worker count), finished records
 are served from the content-addressed result cache, and ``--json``
@@ -77,7 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser(
         "run",
-        help="run a registered experiment through the engine (E1-E13)",
+        help="run a registered experiment through the engine (E1-E14)",
     )
     run.add_argument("experiment", nargs="?", default=None,
                      help="experiment name or DESIGN.md ID (see --list)")

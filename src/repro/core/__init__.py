@@ -12,7 +12,7 @@ Typical use::
 """
 
 from .attack import FULL_KEY_ROUNDS, GrinchAttack, recover_full_key
-from .config import PROBE_STRATEGIES, AttackConfig
+from .config import PROBE_STRATEGIES, RECOVERY_MODES, AttackConfig
 from .crafting import PlaintextCrafter, build_target_round_input, invert_rounds
 from .crosscore import CrossCoreRunner, make_cross_core_runner
 from .eliminate import CandidateEliminator
@@ -21,9 +21,17 @@ from .errors import (
     BudgetExceeded,
     InconsistentObservation,
     KeyVerificationFailed,
+    LowConfidenceError,
 )
 from .monitor import SboxMonitor
-from .noise import NO_NOISE, NoiseModel
+from .noise import (
+    LOSSLESS,
+    NO_JITTER,
+    NO_NOISE,
+    LossyChannel,
+    NoiseModel,
+    ProbeJitter,
+)
 from .probe import FlushReload, PrimeProbe, ProbeStrategy, make_probe
 from .profile import PROFILE_64, PROFILE_128, GiftAttackProfile, profile_for_width
 from .recover import (
@@ -41,12 +49,14 @@ from .results import (
 )
 from .runner import CacheAttackRunner
 from .target_bits import SourceBit, TargetSpec, set_target_bits
+from .voting import VotingEliminator, VotingPolicy
 
 __all__ = [
     "FULL_KEY_ROUNDS",
     "GrinchAttack",
     "recover_full_key",
     "PROBE_STRATEGIES",
+    "RECOVERY_MODES",
     "AttackConfig",
     "PlaintextCrafter",
     "build_target_round_input",
@@ -54,13 +64,20 @@ __all__ = [
     "CrossCoreRunner",
     "make_cross_core_runner",
     "CandidateEliminator",
+    "VotingEliminator",
+    "VotingPolicy",
     "AttackError",
     "BudgetExceeded",
     "InconsistentObservation",
     "KeyVerificationFailed",
+    "LowConfidenceError",
     "SboxMonitor",
+    "LOSSLESS",
+    "NO_JITTER",
     "NO_NOISE",
+    "LossyChannel",
     "NoiseModel",
+    "ProbeJitter",
     "FlushReload",
     "PrimeProbe",
     "ProbeStrategy",

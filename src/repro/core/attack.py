@@ -44,6 +44,7 @@ from .errors import (
     BudgetExceeded,
     InconsistentObservation,
     KeyVerificationFailed,
+    LowConfidenceError,
 )
 from .recover import (
     KeyBitPair,
@@ -60,10 +61,28 @@ from .results import (
 from .profile import profile_for_width
 from .runner import CacheAttackRunner
 from .target_bits import TargetSpec, set_target_bits
+from .voting import VotingEliminator, VotingPolicy
 
 #: Number of attacked rounds needed for the full GIFT-64 key
 #: (GIFT-128 needs only 2; see :mod:`repro.core.profile`).
 FULL_KEY_ROUNDS = 4
+
+
+class _VotingVerdict:
+    """Outcome of one voting run under one hypothesis."""
+
+    __slots__ = ("status", "line", "pairs", "confidence", "observations",
+                 "retries")
+
+    def __init__(self, status: str, line: Optional[int],
+                 pairs: Tuple[KeyBitPair, ...], confidence: float,
+                 observations: int, retries: int) -> None:
+        self.status = status  # "accepted" | "rejected" | "low_confidence"
+        self.line = line
+        self.pairs = pairs
+        self.confidence = confidence
+        self.observations = observations
+        self.retries = retries
 
 
 class GrinchAttack:
@@ -215,18 +234,47 @@ class GrinchAttack:
         # must survive a confirmation margin before it may be kept.
         confirmation = (self._confirmation_margin(spec.round_index)
                         if len(hypotheses) > 1 else 0)
+        voting = self.config.voting_active
         start = self.total_encryptions
         survivors: List[Tuple[Dict[int, KeyBitPair], int,
                               Tuple[KeyBitPair, ...]]] = []
+        confidence = 1.0
+        observations = 0
+        retries = 0
+        undecided: List[float] = []
         for hypothesis in hypotheses:
-            accepted = self._run_elimination(
-                spec, prior_keys, prior_estimate, hypothesis, expected_line,
-                confirmation
-            )
-            if accepted is not None:
-                survivors.append((hypothesis, accepted[0], accepted[1]))
+            if voting:
+                verdict = self._run_voting(
+                    spec, prior_keys, prior_estimate, hypothesis,
+                    expected_line, confirmation
+                )
+                observations += verdict.observations
+                retries = max(retries, verdict.retries)
+                if verdict.status == "accepted":
+                    survivors.append(
+                        (hypothesis, verdict.line, verdict.pairs)
+                    )
+                    confidence = min(confidence, verdict.confidence)
+                elif verdict.status == "low_confidence":
+                    undecided.append(verdict.confidence)
+            else:
+                accepted = self._run_elimination(
+                    spec, prior_keys, prior_estimate, hypothesis,
+                    expected_line, confirmation
+                )
+                if accepted is not None:
+                    survivors.append((hypothesis, accepted[0], accepted[1]))
 
         if not survivors:
+            if undecided:
+                best = max(undecided)
+                raise LowConfidenceError(
+                    f"round {spec.round_index} segment {spec.segment}: "
+                    f"voting confidence stalled at {best:.3f}, below the "
+                    f"{self.config.voting_confidence} threshold",
+                    encryptions=self.total_encryptions,
+                    best_confidence=best,
+                )
             raise InconsistentObservation(
                 f"round {spec.round_index} segment {spec.segment}: every "
                 f"hypothesis was contradicted by the cache observations"
@@ -244,6 +292,10 @@ class GrinchAttack:
             line=survivors[0][1],
             key_pairs=key_pairs,
             resolved_hypothesis=resolved_hypothesis,
+            confidence=confidence,
+            observations=observations,
+            retries=retries,
+            recovery="voting" if voting else "strict",
         )
 
     @staticmethod
@@ -321,6 +373,118 @@ class GrinchAttack:
             f"encryptions",
             encryptions=self.total_encryptions,
         )
+
+    def _voting_policy(self) -> VotingPolicy:
+        """Calibrate the voter against the configured lossy channel."""
+        presence = self.config.loss.expected_target_presence(
+            len(self.monitor.lines), self.config.probing_round
+        )
+        return VotingPolicy(
+            expected_presence=presence,
+            confidence_threshold=self.config.voting_confidence,
+            min_observations=self.config.voting_min_observations,
+        )
+
+    def _run_voting(self, spec: TargetSpec,
+                    prior_keys: List[Tuple[int, int]],
+                    prior_estimate: Optional[RoundKeyEstimate],
+                    hypothesis: Dict[int, KeyBitPair],
+                    expected_line: Optional[int],
+                    confirmation: int = 0) -> _VotingVerdict:
+        """One voting recovery run under one hypothesis.
+
+        Replaces :meth:`_run_elimination` when the channel is lossy:
+        instead of demanding the target in *every* window, per-line
+        vote counts are accumulated until either the leader separates
+        with the configured confidence (acceptance), the stream stops
+        behaving like it contains a constant target (rejection — the
+        wrong-hypothesis signal), or the confidence stalls.  A stall
+        triggers a re-craft — a fresh plaintext stream — up to
+        ``max_segment_retries`` times before the run gives up as
+        low-confidence.  The vote counts survive re-crafts: the target
+        line is fixed by the hypothesis, not by the crafter's random
+        choices, so discarding observations would only burn budget.
+
+        Two rejection triggers, both sound and the second much earlier:
+        the voter's own "no line is viable", and — in verification mode
+        — the death of the *predicted* line's viability (the hypothesis
+        stands or falls with that one line, so there is no need to wait
+        for the whole universe to die).
+        """
+        full_prior = list(prior_keys)
+        if prior_estimate is not None:
+            full_prior.append(prior_estimate.guess_round_key(hypothesis))
+        policy = self._voting_policy()
+        # The predicted key-free index bits already rule out most lines
+        # (strict mode applies the same filter post hoc in
+        # ``_accept_lines``); voting applies it up front so impossible
+        # lines never compete for the lead — fewer competitors means
+        # fewer windows to separate and no false leaders.
+        universe = self.monitor.universe
+        if expected_line is None:
+            consistent = frozenset(
+                line for line in universe
+                if key_pairs_from_line(spec, self.monitor, line)
+            )
+            if consistent:
+                universe = consistent
+        budget = self.config.max_encryptions_per_segment
+        stall_window = self.config.voting_stall_window
+        spent = 0
+        crafter = PlaintextCrafter(spec, full_prior, self.rng)
+        voter = VotingEliminator(universe, policy)
+        # In strict-equivalent mode the voter converges exactly like
+        # the intersection, so the same transient-singleton guard
+        # applies when several hypotheses compete.
+        confirmations_left = (confirmation
+                              if policy.strict_equivalent else 0)
+        best_confidence = 0.0
+        stalled_for = 0
+        recrafts = 0
+        while spent < budget:
+            self._charge_encryption()
+            spent += 1
+            voter.update(self.runner.observe_encryption(
+                crafter.craft(), spec.round_index
+            ))
+            if voter.rejected or (
+                    expected_line is not None
+                    and not voter.is_viable(expected_line)):
+                return _VotingVerdict("rejected", None, (),
+                                      voter.confidence, spent, recrafts)
+            if voter.decided:
+                if confirmations_left > 0:
+                    confirmations_left -= 1
+                    continue
+                accepted = self._accept_lines(
+                    spec, frozenset({voter.resolved_line}),
+                    expected_line
+                )
+                if accepted is None:
+                    # Verification mode: the leader separated but is
+                    # not the predicted line — the hypothesis that
+                    # predicted it is wrong.
+                    return _VotingVerdict("rejected", None, (),
+                                          voter.confidence, spent,
+                                          recrafts)
+                return _VotingVerdict("accepted", accepted[0],
+                                      accepted[1], voter.confidence,
+                                      spent, recrafts)
+            current = voter.confidence
+            if current > best_confidence:
+                best_confidence = current
+                stalled_for = 0
+            else:
+                stalled_for += 1
+            if (voter.observations >= policy.min_observations
+                    and stalled_for >= stall_window):
+                if recrafts >= self.config.max_segment_retries:
+                    break  # stalled out of retries: give up gracefully
+                recrafts += 1
+                stalled_for = 0
+                crafter = PlaintextCrafter(spec, full_prior, self.rng)
+        return _VotingVerdict("low_confidence", None, (), best_confidence,
+                              spent, recrafts)
 
     def _accept_lines(self, spec: TargetSpec, lines,
                       expected_line: Optional[int]

@@ -14,10 +14,13 @@ from typing import Optional
 
 from ..cache.geometry import CacheGeometry
 from ..gift.lut import TableLayout
-from .noise import NO_NOISE, NoiseModel
+from .noise import LOSSLESS, NO_NOISE, LossyChannel, NoiseModel
 
 #: Probe primitive names accepted by :class:`AttackConfig`.
 PROBE_STRATEGIES = ("flush_reload", "prime_probe")
+
+#: Candidate-recovery modes accepted by :class:`AttackConfig`.
+RECOVERY_MODES = ("auto", "strict", "voting")
 
 
 @dataclass(frozen=True)
@@ -71,7 +74,42 @@ class AttackConfig:
     seed:
         Seed for the attacker's RNG (plaintext crafting choices).
     noise:
-        Co-running process noise injected into each probe window.
+        Co-running process noise injected into each probe window
+        (false positives only; the channel stays sound).
+    loss:
+        False-negative channel model (per-line signal misses, co-runner
+        eviction, probe-round jitter) — see
+        :class:`~repro.core.noise.LossyChannel`.  The default is the
+        lossless channel the strict intersection assumes.
+    recovery:
+        Candidate-recovery mode: ``"strict"`` (monotone intersection,
+        contradicts on any false negative), ``"voting"`` (frequency
+        scoring, see :mod:`repro.core.voting`), or ``"auto"`` (default:
+        voting iff ``loss`` is lossy — the configurable fallback to
+        strict intersection at zero loss).
+    voting_confidence:
+        Confidence the voting recovery must reach before accepting a
+        segment's line.  The default is deliberately strict: acceptance
+        is sequential (the voter stops the first time the posterior
+        crosses the bar), and a full GIFT-64 recovery makes 64 segment
+        decisions, so the per-decision error must stay well below
+        ``1 / segments`` for the end-to-end success rate to hold.
+    voting_min_observations:
+        Minimum probe windows before voting may decide.  Calibrated so
+        a hot background line cannot fake the target on a small-sample
+        fluke: at fewer than ~16 windows a background line running hot
+        while the true line runs cold can clear both the posterior and
+        the separation guard, and those early wrong accepts are exactly
+        the ones that poison later rounds.
+    voting_stall_window:
+        Re-craft the segment's plaintext stream after this many
+        consecutive observations without a confidence improvement.
+        Vote counts are kept across re-crafts — the target line is
+        fixed by the hypothesis, not the crafter's randomness.
+    max_segment_retries:
+        Re-craft attempts per segment before giving up with
+        :class:`~repro.core.errors.LowConfidenceError` instead of
+        returning a low-confidence (probably wrong) key.
     use_fast_path:
         Allow the accelerated observation path when it is provably
         equivalent to the full cache simulation (Flush+Reload with
@@ -90,6 +128,12 @@ class AttackConfig:
     stall_window: int = 0
     seed: Optional[int] = None
     noise: NoiseModel = NO_NOISE
+    loss: LossyChannel = LOSSLESS
+    recovery: str = "auto"
+    voting_confidence: float = 0.9995
+    voting_min_observations: int = 16
+    voting_stall_window: int = 48
+    max_segment_retries: int = 2
     use_fast_path: bool = True
 
     def __post_init__(self) -> None:
@@ -113,6 +157,30 @@ class AttackConfig:
             raise ValueError("confirmation_factor must be positive")
         if self.stall_window < 0:
             raise ValueError("stall_window must be non-negative")
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_MODES}, "
+                f"got {self.recovery!r}"
+            )
+        if not 0.0 < self.voting_confidence < 1.0:
+            raise ValueError("voting_confidence must be in (0, 1)")
+        if self.voting_min_observations < 1:
+            raise ValueError("voting_min_observations must be positive")
+        if self.voting_stall_window < 1:
+            raise ValueError("voting_stall_window must be positive")
+        if self.max_segment_retries < 0:
+            raise ValueError("max_segment_retries must be non-negative")
+
+    @property
+    def voting_active(self) -> bool:
+        """Whether segments are recovered by voting instead of strict
+        intersection (``"auto"`` votes exactly when the channel is
+        lossy)."""
+        if self.recovery == "voting":
+            return True
+        if self.recovery == "strict":
+            return False
+        return not self.loss.is_lossless
 
     @property
     def fast_path_applicable(self) -> bool:

@@ -62,6 +62,7 @@ class CrossCoreRunner:
         self._monitored_addresses = self.monitor.line_addresses()
         self._noise_rng = (rng if rng is not None
                            else derive_rng("crosscore-noise", config.seed))
+        self._loss_rng = derive_rng("crosscore-loss", config.seed)
         self.encryptions_run = 0
 
     @property
@@ -80,24 +81,38 @@ class CrossCoreRunner:
                 f"attacked_round must be >= 1, got {attacked_round}"
             )
         self.encryptions_run += 1
+        loss = self.config.loss
         visible_through = attacked_round + self.config.probing_round
-        trace = self.victim.encrypt_traced(
-            plaintext, max_rounds=visible_through
-        )
-        self._flush_monitored()
-        flushed = False
-        for access in trace.accesses:
-            if (self.config.use_flush and not flushed
-                    and access.round_index > attacked_round):
-                self._flush_monitored()
-                flushed = True
-            self.hierarchy.access(VICTIM_CORE, access.address)
-        if self.config.use_flush and not flushed:
+        if not loss.jitter.is_still:
+            visible_through += loss.sample_jitter(self._loss_rng)
+            visible_through = min(visible_through, self.victim.rounds)
+        first_visible = (attacked_round + 1 if self.config.use_flush
+                         else 1)
+        if visible_through < first_visible:
             self._flush_monitored()
-        for address in self.config.noise.sample(
-                self._monitored_addresses, self._noise_rng):
-            self.hierarchy.access(VICTIM_CORE, address)
-        return self._reload()
+            observed: FrozenSet[int] = self._reload()
+        else:
+            trace = self.victim.encrypt_traced(
+                plaintext, max_rounds=visible_through
+            )
+            self._flush_monitored()
+            flushed = False
+            for access in trace.accesses:
+                if (self.config.use_flush and not flushed
+                        and access.round_index > attacked_round):
+                    self._flush_monitored()
+                    flushed = True
+                self.hierarchy.access(VICTIM_CORE, access.address)
+            if self.config.use_flush and not flushed:
+                self._flush_monitored()
+            for address in self.config.noise.sample(
+                    self._monitored_addresses, self._noise_rng):
+                self.hierarchy.access(VICTIM_CORE, address)
+            observed = self._reload()
+        if loss.is_lossless:
+            return observed
+        return loss.drop_lines(observed, self.monitor.lines,
+                               self._loss_rng)
 
     def _flush_monitored(self) -> None:
         for address in self._monitored_addresses:

@@ -8,6 +8,13 @@ An empty intersection is a *contradiction*: the premise "one line is
 always present" was violated, which happens exactly when a hypothesis
 about earlier-round key bits was wrong — the signal the multi-round
 attack uses to prune hypotheses.
+
+That premise also makes the intersection *unsound under false
+negatives*: a single missed target observation (lossy channel,
+co-runner eviction, probe jitter) empties the set and kills a correct
+hypothesis.  :class:`~repro.core.voting.VotingEliminator` is the
+lossy-channel replacement; at zero loss it reduces exactly to this
+class's behaviour.
 """
 
 from __future__ import annotations

@@ -29,3 +29,20 @@ class InconsistentObservation(AttackError):
 
 class KeyVerificationFailed(AttackError):
     """The assembled master key failed the known-pair verification."""
+
+
+class LowConfidenceError(AttackError):
+    """Voting recovery could not reach the confidence threshold.
+
+    Raised instead of returning a probably-wrong key when a segment's
+    vote counts never separate within the retry and encryption budgets
+    (e.g. under extreme channel loss).  Carries the best confidence
+    reached so experiment harnesses can report *how* close the segment
+    came.
+    """
+
+    def __init__(self, message: str, encryptions: int,
+                 best_confidence: float) -> None:
+        super().__init__(message)
+        self.encryptions = encryptions
+        self.best_confidence = best_confidence

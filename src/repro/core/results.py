@@ -15,6 +15,13 @@ class SegmentOutcome:
     ``resolved_hypothesis`` records which previous-round key-bit
     assignment survived the consistency test (empty for round 1 or when
     nothing was ambiguous).
+
+    The telemetry trio ``confidence`` / ``observations`` / ``retries``
+    describes the voting recovery when it ran (``recovery ==
+    "voting"``): the acceptance confidence of the surviving line, how
+    many probe windows it took, and how many re-crafts were needed.
+    Strict-intersection segments keep the defaults (an accepted strict
+    run is exact, hence confidence 1.0).
     """
 
     round_index: int
@@ -24,6 +31,10 @@ class SegmentOutcome:
     line: int
     key_pairs: Tuple[KeyBitPair, ...]
     resolved_hypothesis: Dict[int, KeyBitPair] = field(default_factory=dict)
+    confidence: float = 1.0
+    observations: int = 0
+    retries: int = 0
+    recovery: str = "strict"
 
     @property
     def ambiguous(self) -> bool:
@@ -138,6 +149,11 @@ class RoundAttackOutcome:
         """Total victim encryptions spent on this round."""
         return sum(s.encryptions for s in self.segments)
 
+    @property
+    def min_confidence(self) -> float:
+        """Weakest segment acceptance confidence in this round."""
+        return min((s.confidence for s in self.segments), default=1.0)
+
 
 @dataclass
 class AttackResult:
@@ -153,6 +169,25 @@ class AttackResult:
     def encryptions_by_round(self) -> Dict[int, int]:
         """Victim encryptions per attacked round."""
         return {r.round_index: r.encryptions for r in self.rounds}
+
+    @property
+    def min_confidence(self) -> float:
+        """Weakest segment acceptance confidence across the attack."""
+        return min((r.min_confidence for r in self.rounds), default=1.0)
+
+    @property
+    def mean_confidence(self) -> float:
+        """Mean segment acceptance confidence across the attack."""
+        confidences = [s.confidence for r in self.rounds
+                       for s in r.segments]
+        if not confidences:
+            return 1.0
+        return sum(confidences) / len(confidences)
+
+    @property
+    def total_retries(self) -> int:
+        """Total voting re-crafts across all segments."""
+        return sum(s.retries for r in self.rounds for s in r.segments)
 
 
 @dataclass

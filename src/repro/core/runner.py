@@ -54,6 +54,9 @@ class CacheAttackRunner:
         # seed was configured (seed=None is a valid, reproducible seed).
         self._noise_rng = (rng if rng is not None
                            else derive_rng("runner-noise", config.seed))
+        # The loss stream is separate again so a lossless run consumes
+        # exactly the randomness it did before the channel existed.
+        self._loss_rng = derive_rng("runner-loss", config.seed)
         self._monitored_addresses = self.monitor.line_addresses()
         self.encryptions_run = 0
 
@@ -77,12 +80,21 @@ class CacheAttackRunner:
                 f"attacked_round must be >= 1, got {attacked_round}"
             )
         self.encryptions_run += 1
+        loss = self.config.loss
         visible_through = attacked_round + self.config.probing_round
+        if not loss.jitter.is_still:
+            # A jittered probe lands early or late: late draws add later
+            # rounds' accesses, early draws can lose the target round —
+            # or the whole window — outright.
+            visible_through += loss.sample_jitter(self._loss_rng)
+            visible_through = min(visible_through, self.victim.rounds)
         flush_supported = (self.config.use_flush
                            and self.probe.supports_mid_flush)
         first_visible = attacked_round + 1 if flush_supported else 1
 
-        if self.fast_path_active:
+        if visible_through < first_visible:
+            observed: FrozenSet[int] = frozenset()
+        elif self.fast_path_active:
             observed = self._fast_observation(
                 plaintext, first_visible, visible_through
             )
@@ -90,7 +102,11 @@ class CacheAttackRunner:
             observed = self._full_observation(
                 plaintext, attacked_round, visible_through, flush_supported
             )
-        return observed | self._noise_lines()
+        observed |= self._noise_lines()
+        if loss.is_lossless:
+            return observed
+        return loss.drop_lines(observed, self.monitor.lines,
+                               self._loss_rng)
 
     # ------------------------------------------------------------------
     # Paths

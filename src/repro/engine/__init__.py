@@ -1,6 +1,6 @@
 """The unified experiment engine.
 
-One declarative registry of every paper artefact and ablation (E1–E13),
+One declarative registry of every paper artefact and ablation (E1–E14),
 one parallel Monte-Carlo executor with worker-count-independent seeding,
 one content-addressed result cache, one JSON artifact schema — shared by
 the CLI (``python -m repro run``), ``repro.analysis.experiments``, the

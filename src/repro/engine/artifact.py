@@ -17,6 +17,8 @@ Record shape (``repro.engine/result/v1``)::
         {"cell": {...},               # the cell's sweep coordinates
          "trials": [...],             # per-trial results (may be empty)
          "summary": {"mean":..., "min":..., "max":..., "n":...} | null,
+         "confidence":                # optional: voting-recovery sweeps
+             {"mean":..., "min":..., "n":...} | null,
          ...experiment-specific fields...}
       ],
       "summary": { ... },             # experiment-level summary
@@ -87,6 +89,14 @@ def validate_record(record: Mapping[str, Any]) -> None:
                                           f"object or null")
             for field in ("mean", "min", "max", "n"):
                 _require(summary, field, (int, float), f"{where}.summary")
+        if "confidence" in cell and cell["confidence"] is not None:
+            confidence = cell["confidence"]
+            if not isinstance(confidence, Mapping):
+                raise ArtifactSchemaError(f"{where}.confidence: must be "
+                                          f"an object or null")
+            for field in ("mean", "min", "n"):
+                _require(confidence, field, (int, float),
+                         f"{where}.confidence")
     _require(record, "summary", Mapping, "record")
     telemetry = _require(record, "telemetry", Mapping, "record")
     _require(telemetry, "engine_version", int, "telemetry")
@@ -112,6 +122,24 @@ def trial_summary(samples: List[float]) -> Optional[Dict[str, float]]:
         "mean": sum(numeric) / len(numeric),
         "min": min(numeric),
         "max": max(numeric),
+        "n": len(numeric),
+    }
+
+
+def confidence_summary(confidences: List[float]
+                       ) -> Optional[Dict[str, float]]:
+    """Per-cell ``confidence`` telemetry for voting-recovery sweeps.
+
+    Aggregates the per-segment acceptance confidences the lossy-channel
+    experiments report (``None`` when no segment-level confidence was
+    collected, e.g. all trials dropped out before accepting anything).
+    """
+    numeric = [float(c) for c in confidences]
+    if not numeric:
+        return None
+    return {
+        "mean": sum(numeric) / len(numeric),
+        "min": min(numeric),
         "n": len(numeric),
     }
 

@@ -15,8 +15,8 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 from .seeding import canonical
 
 #: Parameter kinds understood by the spec layer.
-PARAM_KINDS = ("int", "float", "bool", "str", "int_list", "pair_list",
-               "int_pair_list")
+PARAM_KINDS = ("int", "float", "bool", "str", "int_list", "float_list",
+               "pair_list", "int_pair_list")
 
 
 @dataclass(frozen=True)
@@ -24,7 +24,8 @@ class Param:
     """One typed experiment parameter.
 
     ``kind`` is one of :data:`PARAM_KINDS`; ``int_list`` is a sequence
-    of integers (CLI syntax ``1,2,3``) and ``pair_list`` a sequence of
+    of integers (CLI syntax ``1,2,3``), ``float_list`` a sequence of
+    floats (CLI syntax ``0.0,0.1,0.2``) and ``pair_list`` a sequence of
     ``(float, int)`` pairs (CLI syntax ``0.0:0,0.5:2``).
     """
 
@@ -82,6 +83,12 @@ def _coerce_int_list(name: str, value: Any) -> Tuple[int, ...]:
     return tuple(_coerce_int(name, item) for item in value)
 
 
+def _coerce_float_list(name: str, value: Any) -> Tuple[float, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"{name} must be a list of floats, got {value!r}")
+    return tuple(_coerce_float(name, item) for item in value)
+
+
 def _coerce_pair_list(name: str, value: Any) -> Tuple[Tuple[float, int], ...]:
     if not isinstance(value, (list, tuple)):
         raise ValueError(f"{name} must be a list of pairs, got {value!r}")
@@ -113,6 +120,7 @@ _COERCERS = {
     "bool": _coerce_bool,
     "str": _coerce_str,
     "int_list": _coerce_int_list,
+    "float_list": _coerce_float_list,
     "pair_list": _coerce_pair_list,
     "int_pair_list": _coerce_int_pair_list,
 }
@@ -136,6 +144,9 @@ _PARSERS = {
     "str": lambda name, text: text,
     "int_list": lambda name, text: [
         int(item) for item in text.split(",") if item.strip()
+    ],
+    "float_list": lambda name, text: [
+        float(item) for item in text.split(",") if item.strip()
     ],
     "pair_list": lambda name, text: [
         [float(pair.split(":")[0]), int(pair.split(":")[1])]

@@ -9,7 +9,7 @@ keys recovered by the attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..staticcheck.secrets import secret_params
 from .constants import constant_mask
@@ -113,7 +113,8 @@ class GiftCipher:
             state = sub_cells(state, self.width, inverse=True)
         return state
 
-    def round_states(self, plaintext: int, rounds: int = None) -> List[RoundState]:
+    def round_states(self, plaintext: int,
+                     rounds: Optional[int] = None) -> List[RoundState]:
         """Return the per-round intermediate states of an encryption.
 
         The GRINCH attacker uses this on *its own model* of the cipher

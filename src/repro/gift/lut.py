@@ -18,7 +18,7 @@ concern, exercised by the ablation benchmarks).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .cipher import add_round_key
 from .keyschedule import round_keys as standard_round_keys
@@ -161,7 +161,8 @@ class TracedGiftCipher:
             state = _sub_cells_inverse(state, self.width)
         return state
 
-    def encrypt_traced(self, plaintext: int, max_rounds: int = None
+    def encrypt_traced(self, plaintext: int,
+                       max_rounds: Optional[int] = None
                        ) -> EncryptionTrace:
         """Encrypt one block, recording all table loads.
 

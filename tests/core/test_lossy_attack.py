@@ -1,0 +1,123 @@
+"""End-to-end attack behaviour over a lossy observation channel.
+
+The tentpole claims, attack-level:
+
+* under per-probe false negatives up to 0.2 the voting recovery still
+  assembles and verifies the planted 128-bit master key;
+* the strict intersection raises its contradiction error on the very
+  same lossy configuration — the failure mode the voter exists to fix;
+* whenever the attack accepts, every segment's confidence is at or
+  above the configured threshold and the key matches the planted one;
+* at zero loss, voting and strict recover the same key;
+* under hopeless loss the attack gives up gracefully with
+  :class:`~repro.core.errors.LowConfidenceError`, not a wrong key.
+"""
+
+import pytest
+
+from repro.core import (
+    AttackConfig,
+    GrinchAttack,
+    InconsistentObservation,
+    LossyChannel,
+    LowConfidenceError,
+)
+from repro.engine.seeding import derive_key
+from repro.gift.lut import TracedGift64
+
+#: The acceptance-criterion channel: 20% per-probe false negatives.
+LOSSY = LossyChannel(miss_probability=0.2)
+
+#: E14's encryption budget (budget_factor 4.0 at default geometry).
+E14_BUDGET = 1906
+
+
+def _lossy_config(seed, **overrides):
+    return AttackConfig(seed=seed, loss=LOSSY,
+                        max_total_encryptions=E14_BUDGET, **overrides)
+
+
+class TestVotingRecovery:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_recovers_planted_key_at_twenty_percent_loss(self, seed):
+        planted = derive_key(128, 100 + seed)
+        attack = GrinchAttack(TracedGift64(master_key=planted),
+                              _lossy_config(seed))
+        result = attack.recover_master_key()
+        assert result.master_key == planted
+        assert result.total_encryptions <= E14_BUDGET
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_acceptance_implies_confidence_at_threshold(self, seed):
+        planted = derive_key(128, 100 + seed)
+        config = _lossy_config(seed)
+        attack = GrinchAttack(TracedGift64(master_key=planted), config)
+        result = attack.recover_master_key()
+        # Every segment decision cleared the bar, and the recovery is
+        # flagged as voting-based in the per-segment telemetry.
+        assert result.min_confidence >= config.voting_confidence
+        for round_outcome in result.rounds:
+            for segment in round_outcome.segments:
+                assert segment.recovery == "voting"
+                assert segment.observations > 0
+        assert result.master_key == planted
+
+    def test_strict_contradicts_on_the_same_channel(self):
+        # recovery="strict" forces the monotone intersection onto the
+        # identical lossy configuration: the first false negative that
+        # hits the target line empties the intersection.
+        planted = derive_key(128, 100)
+        attack = GrinchAttack(TracedGift64(master_key=planted),
+                              _lossy_config(0, recovery="strict"))
+        with pytest.raises(InconsistentObservation):
+            attack.recover_master_key()
+
+    def test_zero_loss_voting_matches_strict_key(self):
+        planted = derive_key(128, 7)
+        strict = GrinchAttack(
+            TracedGift64(master_key=planted),
+            AttackConfig(seed=7, recovery="strict"),
+        ).recover_master_key()
+        voting = GrinchAttack(
+            TracedGift64(master_key=planted),
+            AttackConfig(seed=7, recovery="voting"),
+        ).recover_master_key()
+        assert strict.master_key == voting.master_key == planted
+        # Lossless voting reports full confidence on every segment.
+        assert voting.min_confidence == 1.0
+
+    def test_hopeless_loss_fails_gracefully(self):
+        # At 90% miss probability the channel carries almost no signal:
+        # the voter must stall out with a structured LowConfidenceError
+        # (never a silently wrong key), reporting how far it got.
+        planted = derive_key(128, 1)
+        attack = GrinchAttack(
+            TracedGift64(master_key=planted),
+            AttackConfig(seed=1,
+                         loss=LossyChannel(miss_probability=0.9),
+                         max_total_encryptions=5_000),
+        )
+        with pytest.raises(LowConfidenceError) as excinfo:
+            attack.recover_master_key()
+        assert excinfo.value.encryptions > 0
+        assert 0.0 <= excinfo.value.best_confidence < 1.0
+
+
+@pytest.mark.slow
+def test_acceptance_criterion_fifty_trials(tmp_path):
+    """ISSUE acceptance: >= 95% of 50 seeded E14 trials recover the
+    full key at miss probability 0.2 within the 4x encryption budget."""
+    from repro.engine import run_experiment
+
+    record = run_experiment(
+        "noise_robustness",
+        {"runs": 50, "miss_probabilities": [0.2],
+         "eviction_rates": [0.0]},
+        workers=2, cache_root=tmp_path,
+    )
+    cell = record["cells"][0]
+    assert cell["success_rate"] >= 0.95
+    assert cell["budget"] == E14_BUDGET
+    for trial in cell["trials"]:
+        if trial["recovered"]:
+            assert trial["encryptions"] <= E14_BUDGET

@@ -1,4 +1,4 @@
-"""The declarative experiment registry (tentpole: one index for E1-E13)."""
+"""The declarative experiment registry (tentpole: one index for E1-E14)."""
 
 import pytest
 
@@ -7,7 +7,7 @@ from repro.engine.params import Param, spec
 from repro.engine.registry import CellPlan, Experiment
 
 #: Every experiment DESIGN.md names, by its index ID.
-DESIGN_IDS = [f"E{i}" for i in range(1, 14)]
+DESIGN_IDS = [f"E{i}" for i in range(1, 15)]
 
 
 class TestBuiltinRegistry:
