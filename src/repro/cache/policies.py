@@ -12,6 +12,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import List, Optional
 
+from ..seeding import derive_rng
+
 
 class ReplacementPolicy(ABC):
     """Chooses a victim way within one cache set.
@@ -88,7 +90,11 @@ class RandomPolicy(ReplacementPolicy):
 
     def __init__(self, ways: int, rng: Optional[random.Random] = None) -> None:
         super().__init__(ways)
-        self._rng = rng if rng is not None else random.Random(0)
+        # Scope-derived default so the eviction stream cannot collide
+        # with any attack/noise stream sharing the naked seed 0.
+        self._rng = rng if rng is not None else derive_rng(
+            "replacement-policy", 0
+        )
 
     def on_access(self, way: int) -> None:
         pass

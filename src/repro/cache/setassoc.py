@@ -93,7 +93,7 @@ class SetAssociativeCache:
         """Non-perturbing residency check (simulator-only observability).
 
         A real attacker cannot peek without touching the cache; the probe
-        strategies in :mod:`repro.core.probe` decide whether to use this
+        primitives in :mod:`repro.channel.primitive` decide whether to use this
         (idealised) or :meth:`access` (Flush+Reload's perturbing reload).
         """
         set_index = self.geometry.set_of(address)

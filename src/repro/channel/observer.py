@@ -1,0 +1,407 @@
+"""L4 — the observer API: one entry point for every observation path.
+
+:class:`ObservationChannel` is the stack's top layer and the *only*
+observation interface the attack, the variants and the experiment
+engine consume.  It composes
+
+* a :class:`~repro.channel.primitive.ProbePrimitive` (L1 — how to read
+  residency),
+* a :class:`~repro.channel.transport.CacheTransport` (L2 — which
+  substrate the probe and victim meet on),
+* a tuple of degradations (L3 — loss/jitter decorators), and
+* the victim + crafting-independent RNG streams,
+
+and answers the access-driven question *which monitored lines did this
+encryption (appear to) touch?* via :meth:`observe`, plus the
+trace-/time-driven signals via :meth:`window`, :meth:`hit_miss` and
+:meth:`timing`.
+
+Two execution paths produce the access-driven answer:
+
+* the **full path** replays the victim's complete address stream
+  through the transport and runs the probe primitive on it — used for
+  Prime+Probe, cross-core transports, ablations, and as ground truth
+  in tests;
+* the **fast path** computes the observation directly from the S-box
+  accesses in the visible round window — exact for line-granular
+  flush-based primitives on a single-level transport under the default
+  layouts (monitored lines can never be evicted: the victim's visible
+  working set per cache set is far below the paper's 16 ways), and
+  ~40x faster, which the million-encryption sweeps of Table I need.
+  An equivalence test in the suite proves the two paths agree
+  observation-for-observation for every primitive.
+
+RNG discipline: the noise stream (``"{scope}-noise"``), the loss
+stream (``"{scope}-loss"``) and the primitive's own signal stream
+(``"{scope}-primitive"``) are independently derived from the config
+seed, so a lossless, noise-free run consumes exactly the randomness
+the pre-stack runner did (seed-0 full-key recovery still takes exactly
+464 encryptions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..cache.hierarchy import MemoryLatencies
+from ..gift.lut import TracedGiftCipher
+from ..seeding import derive_rng
+from ..staticcheck import secret_attributes
+from .monitor import SboxMonitor
+from .primitive import ProbePrimitive, make_primitive
+from .transport import CacheTransport, SingleLevelTransport
+
+
+@dataclass(frozen=True)
+class WindowObservation:
+    """One encryption's observable signals in the attack window."""
+
+    hit_miss: Tuple[bool, ...]
+    latency_cycles: int
+    accesses: int
+
+    @property
+    def misses(self) -> int:
+        """Number of misses in the window (distinct lines touched)."""
+        return sum(1 for hit in self.hit_miss if not hit)
+
+
+@secret_attributes("victim")
+class ObservationChannel:
+    """Runs crafted encryptions and returns channel observations.
+
+    The channel holds the victim instance (and therefore the secret
+    key), but exposes only the side-channel signals: callers submit a
+    plaintext and receive the set of monitored lines the probe reports
+    (:meth:`observe`), the window's hit/miss sequence
+    (:meth:`hit_miss`), or its latency (:meth:`timing`).
+
+    Parameters
+    ----------
+    victim:
+        The traced table-based cipher under attack.
+    config:
+        An :class:`~repro.core.config.AttackConfig` (duck-typed: any
+        object with the same observation-relevant attributes works).
+    rng:
+        Optional override of the noise stream (legacy runner knob).
+    transport:
+        L2 override; defaults to a single shared cache of the config's
+        geometry.
+    primitive:
+        L1 override; defaults to ``config.probe_strategy``.
+    degradations:
+        L3 decorator stack; defaults to ``(config.loss,)``.
+    rng_scope:
+        Label prefix of the derived RNG streams.  The default keeps
+        bit-identical streams with the historic single-core runner;
+        the cross-core subclass uses ``"crosscore"``.
+    """
+
+    def __init__(self, victim: TracedGiftCipher, config: Any,
+                 rng: Optional[random.Random] = None, *,
+                 transport: Optional[CacheTransport] = None,
+                 primitive: Optional[ProbePrimitive] = None,
+                 degradations: Optional[Sequence[Any]] = None,
+                 rng_scope: str = "runner") -> None:
+        self.victim = victim
+        self.config = config
+        self.monitor = SboxMonitor.build(victim.layout, config.geometry)
+        if transport is None:
+            transport = SingleLevelTransport(config.geometry)
+        else:
+            transport.check_geometry(config.geometry)
+        self.transport = transport
+        if primitive is None:
+            primitive = make_primitive(
+                config.probe_strategy, self.monitor,
+                signal_miss_probability=getattr(
+                    config, "flush_flush_miss_probability", 0.0),
+                rng=derive_rng(f"{rng_scope}-primitive", config.seed),
+            )
+        self.primitive = primitive
+        if not primitive.flush_based and not transport.supports_prime_probe:
+            raise ValueError(
+                f"{type(primitive).__name__} needs same-cache contention, "
+                f"which {type(transport).__name__} cannot provide "
+                f"(a cross-core attacker is clflush-based)"
+            )
+        if degradations is None:
+            degradations = (config.loss,)
+        self.degradations: Tuple[Any, ...] = tuple(degradations)
+        # Scope-derived so the noise stream is independent of the
+        # attacker's crafting stream, and deterministic even when no
+        # seed was configured (seed=None is a valid, reproducible seed).
+        self._noise_rng = (rng if rng is not None
+                           else derive_rng(f"{rng_scope}-noise",
+                                           config.seed))
+        # The loss stream is separate again so a lossless run consumes
+        # exactly the randomness it did before the channel existed.
+        self._loss_rng = derive_rng(f"{rng_scope}-loss", config.seed)
+        self._monitored_addresses = self.monitor.line_addresses()
+        self.encryptions_run = 0
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+
+    @property
+    def fast_path_active(self) -> bool:
+        """Whether observations take the accelerated exact path."""
+        return (self.config.fast_path_applicable
+                and self.primitive.line_granular
+                and self.transport.supports_fast_path)
+
+    @property
+    def mid_flush_supported(self) -> bool:
+        """Whether the primitive can clear state mid-encryption."""
+        return self.primitive.supports_mid_flush
+
+    @property
+    def signal_reliability(self) -> float:
+        """Mean per-line probability the primitive reads a genuine
+        access as present (< 1.0 only for noisy readouts such as
+        Flush+Flush)."""
+        return self.primitive.signal_reliability
+
+    @property
+    def is_lossless(self) -> bool:
+        """Whether the composed channel can never lose a genuine access."""
+        return (self.primitive.signal_reliability == 1.0
+                and all(d.is_lossless for d in self.degradations))
+
+    # ------------------------------------------------------------------
+    # Access-driven channel
+    # ------------------------------------------------------------------
+
+    def observe(self, plaintext: int, attacked_round: int
+                ) -> FrozenSet[int]:
+        """Encrypt ``plaintext`` and return the probe's line observation.
+
+        ``attacked_round`` is the round whose key bits are targeted
+        (``t``); the probe lands after round ``t + probing_round``
+        completes, and — when the flush is enabled and the primitive
+        supports it — the monitored lines are flushed right after round
+        ``t`` so earlier rounds leave no residue.
+        """
+        if attacked_round < 1:
+            raise ValueError(
+                f"attacked_round must be >= 1, got {attacked_round}"
+            )
+        self.encryptions_run += 1
+        visible_through = attacked_round + self.config.probing_round
+        for degradation in self.degradations:
+            if degradation.shifts_window:
+                # A jittered probe lands early or late: late draws add
+                # later rounds' accesses, early draws can lose the
+                # target round — or the whole window — outright.
+                visible_through += degradation.sample_jitter(self._loss_rng)
+                visible_through = min(visible_through, self.victim.rounds)
+        flush_supported = (self.config.use_flush
+                           and self.primitive.supports_mid_flush)
+        first_visible = attacked_round + 1 if flush_supported else 1
+
+        if visible_through < first_visible:
+            observed = self._empty_window_observation()
+            if not self.transport.noise_via_victim:
+                observed |= self._noise_lines()
+        elif self.fast_path_active:
+            observed = self.primitive.filter_observation(
+                self._fast_observation(
+                    plaintext, first_visible, visible_through
+                )
+            )
+            observed |= self._noise_lines()
+        else:
+            observed = self.primitive.filter_observation(
+                self._full_observation(
+                    plaintext, attacked_round, visible_through,
+                    flush_supported
+                )
+            )
+            if not self.transport.noise_via_victim:
+                observed |= self._noise_lines()
+        for degradation in self.degradations:
+            if not degradation.is_lossless:
+                observed = degradation.drop_lines(
+                    observed, self.monitor.lines, self._loss_rng
+                )
+        return observed
+
+    #: Historic name of :meth:`observe` (the pre-stack runner API).
+    def observe_encryption(self, plaintext: int, attacked_round: int
+                           ) -> FrozenSet[int]:
+        """Alias of :meth:`observe` (the pre-stack runner's name)."""
+        return self.observe(plaintext, attacked_round)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _fast_observation(self, plaintext: int, first_visible: int,
+                          visible_through: int) -> FrozenSet[int]:
+        indices_by_round = self.victim.sbox_indices_by_round(
+            plaintext, max_rounds=visible_through
+        )
+        line_by_index = self.monitor.line_by_index
+        return frozenset(
+            line_by_index[index]
+            for round_indices in indices_by_round[first_visible - 1:]
+            for index in round_indices
+        )
+
+    def _full_observation(self, plaintext: int, attacked_round: int,
+                          visible_through: int,
+                          flush_supported: bool) -> FrozenSet[int]:
+        trace = self.victim.encrypt_traced(
+            plaintext, max_rounds=visible_through
+        )
+        self.primitive.reset(self.transport)
+        flushed = False
+        for access in trace.accesses:
+            if (flush_supported and not flushed
+                    and access.round_index > attacked_round):
+                self.primitive.mid_flush(self.transport)
+                flushed = True
+            self.transport.victim_access(access.address)
+        if flush_supported and not flushed:
+            # The visible window ended exactly at the flush point.
+            self.primitive.mid_flush(self.transport)
+        if self.transport.noise_via_victim:
+            # Cross-core noise is other-tenant traffic on the victim's
+            # side of the hierarchy: the probe then observes it
+            # naturally instead of having it unioned in afterwards.
+            for address in self.config.noise.sample(
+                    self._monitored_addresses, self._noise_rng):
+                self.transport.victim_access(address)
+        return self.primitive.observe(self.transport)
+
+    def _empty_window_observation(self) -> FrozenSet[int]:
+        if not self.transport.probe_on_empty_window:
+            return frozenset()
+        # The cross-core attacker's loop still flushes and probes even
+        # when jitter pulled the window empty — a perturbing no-op.
+        self.primitive.reset(self.transport)
+        return self.primitive.filter_observation(
+            self.primitive.observe(self.transport)
+        )
+
+    def _noise_lines(self) -> FrozenSet[int]:
+        addresses = self.config.noise.sample(
+            self._monitored_addresses, self._noise_rng
+        )
+        if not addresses:
+            return frozenset()
+        if not self.fast_path_active:
+            for address in addresses:
+                self.transport.victim_access(address)
+        return frozenset(
+            self.monitor.geometry.line_of(address) for address in addresses
+        )
+
+    # ------------------------------------------------------------------
+    # Trace-/time-driven channels
+    # ------------------------------------------------------------------
+
+    def window(self, plaintext: int, first_round: int, last_round: int,
+               latencies: Optional[MemoryLatencies] = None
+               ) -> WindowObservation:
+        """Both weaker signals of one encryption's S-box window.
+
+        Starts from a cold transport of the same shape (as after a
+        preceding flush or context switch), which is what the
+        trace-/time-driven variants assume.
+        """
+        self.encryptions_run += 1
+        return observe_window(
+            self.victim, plaintext, self.config.geometry,
+            first_round, last_round,
+            latencies=latencies if latencies is not None
+            else MemoryLatencies(),
+            surface=self.transport.cold(),
+        )
+
+    def hit_miss(self, plaintext: int, first_round: int, last_round: int
+                 ) -> Tuple[bool, ...]:
+        """Trace-driven channel: the window's hit/miss sequence."""
+        return self.window(plaintext, first_round, last_round).hit_miss
+
+    def timing(self, plaintext: int, first_round: int, last_round: int,
+               latencies: Optional[MemoryLatencies] = None) -> int:
+        """Time-driven channel: the window's total access latency."""
+        return self.window(
+            plaintext, first_round, last_round, latencies
+        ).latency_cycles
+
+    # ------------------------------------------------------------------
+    # Verification channel
+    # ------------------------------------------------------------------
+
+    def known_pair(self, plaintext: int) -> int:
+        """Return the victim's ciphertext for ``plaintext``.
+
+        The threat model lets the attacker submit data for encryption and
+        see the result; GRINCH uses a single such pair to verify the
+        assembled master key (and to disambiguate residual candidates
+        with wide cache lines).
+        """
+        return self.victim.encrypt(plaintext)
+
+
+def observe_window(victim: TracedGiftCipher, plaintext: int,
+                   geometry: Any, first_round: int, last_round: int,
+                   latencies: MemoryLatencies = MemoryLatencies(),
+                   surface: Optional[CacheTransport] = None
+                   ) -> WindowObservation:
+    """Run one encryption and collect both side-channel signals.
+
+    Only the S-box loads of rounds ``first_round..last_round`` are
+    observed (the PermBits table lives in its own region and, for the
+    variants' purposes, contributes a constant offset).  The substrate
+    starts cold, as after a flush.
+    """
+    if first_round > last_round:
+        raise ValueError(
+            f"empty round window [{first_round}, {last_round}]"
+        )
+    trace = victim.encrypt_traced(plaintext, max_rounds=last_round)
+    if surface is None:
+        surface = SingleLevelTransport(geometry)
+    hit_miss: List[bool] = []
+    latency = 0
+    for access in trace.accesses:
+        if access.table != "sbox":
+            continue
+        if not first_round <= access.round_index <= last_round:
+            continue
+        hit = surface.victim_access(access.address)
+        hit_miss.append(hit)
+        latency += (latencies.l1_hit_cycles if hit
+                    else latencies.l1_miss_cycles)
+    return WindowObservation(
+        hit_miss=tuple(hit_miss),
+        latency_cycles=latency,
+        accesses=len(hit_miss),
+    )
+
+
+def hit_miss_trace(victim: TracedGiftCipher, plaintext: int,
+                   geometry: Any,
+                   first_round: int, last_round: int) -> Tuple[bool, ...]:
+    """Trace-driven channel: the window's hit/miss sequence."""
+    return observe_window(
+        victim, plaintext, geometry, first_round, last_round
+    ).hit_miss
+
+
+def encryption_latency(victim: TracedGiftCipher, plaintext: int,
+                       geometry: Any,
+                       first_round: int, last_round: int,
+                       latencies: MemoryLatencies = MemoryLatencies()
+                       ) -> int:
+    """Time-driven channel: the window's total data-access latency."""
+    return observe_window(
+        victim, plaintext, geometry, first_round, last_round, latencies
+    ).latency_cycles

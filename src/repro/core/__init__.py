@@ -11,6 +11,21 @@ Typical use::
     assert result.master_key == secret
 """
 
+from ..channel import (
+    LOSSLESS,
+    NO_JITTER,
+    NO_NOISE,
+    FlushFlush,
+    FlushReload,
+    LossyChannel,
+    NoiseModel,
+    ObservationChannel,
+    PrimeProbe,
+    ProbePrimitive,
+    ProbeJitter,
+    SboxMonitor,
+    make_primitive,
+)
 from .attack import FULL_KEY_ROUNDS, GrinchAttack, recover_full_key
 from .config import PROBE_STRATEGIES, RECOVERY_MODES, AttackConfig
 from .crafting import PlaintextCrafter, build_target_round_input, invert_rounds
@@ -23,16 +38,6 @@ from .errors import (
     KeyVerificationFailed,
     LowConfidenceError,
 )
-from .monitor import SboxMonitor
-from .noise import (
-    LOSSLESS,
-    NO_JITTER,
-    NO_NOISE,
-    LossyChannel,
-    NoiseModel,
-    ProbeJitter,
-)
-from .probe import FlushReload, PrimeProbe, ProbeStrategy, make_probe
 from .profile import PROFILE_64, PROFILE_128, GiftAttackProfile, profile_for_width
 from .recover import (
     KeyBitPair,
@@ -47,9 +52,16 @@ from .results import (
     RoundKeyEstimate,
     SegmentOutcome,
 )
-from .runner import CacheAttackRunner
 from .target_bits import SourceBit, TargetSpec, set_target_bits
 from .voting import VotingEliminator, VotingPolicy
+
+#: Historic names: the runner became the observation channel, and the
+#: probe-strategy vocabulary became the primitive one (the modules
+#: :mod:`repro.core.runner` / :mod:`repro.core.probe` are deprecation
+#: shims; these package-level aliases stay warning-free).
+CacheAttackRunner = ObservationChannel
+ProbeStrategy = ProbePrimitive
+make_probe = make_primitive
 
 __all__ = [
     "FULL_KEY_ROUNDS",
@@ -78,9 +90,13 @@ __all__ = [
     "LossyChannel",
     "NoiseModel",
     "ProbeJitter",
+    "FlushFlush",
     "FlushReload",
     "PrimeProbe",
+    "ObservationChannel",
+    "ProbePrimitive",
     "ProbeStrategy",
+    "make_primitive",
     "make_probe",
     "PROFILE_64",
     "PROFILE_128",

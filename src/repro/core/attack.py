@@ -5,7 +5,8 @@ Per attacked round ``t`` and segment ``s`` the attack loop is:
 1. *Generate Plaintext + Encrypt* — :class:`PlaintextCrafter` pins the
    round-``t + 1`` S-box input of segment ``s`` (Algorithms 1 & 2, plus
    the Step-5 inversion through already-broken rounds).
-2. *Probe the Cache* — :class:`CacheAttackRunner` returns the monitored
+2. *Probe the Cache* — the
+   :class:`~repro.channel.ObservationChannel` returns the monitored
    lines the probe saw.
 3. *Eliminate Candidates* — :class:`CandidateEliminator` intersects
    observations until one line survives.
@@ -34,7 +35,7 @@ import itertools
 import math
 from typing import Dict, List, Optional, Tuple
 
-from ..engine.seeding import derive_rng
+from ..seeding import derive_rng
 from ..gift.cipher import GiftCipher
 from ..gift.lut import TracedGiftCipher
 from .config import AttackConfig
@@ -58,8 +59,8 @@ from .results import (
     RoundKeyEstimate,
     SegmentOutcome,
 )
+from ..channel.observer import ObservationChannel
 from .profile import profile_for_width
-from .runner import CacheAttackRunner
 from .target_bits import TargetSpec, set_target_bits
 from .voting import VotingEliminator, VotingPolicy
 
@@ -88,10 +89,11 @@ class _VotingVerdict:
 class GrinchAttack:
     """A GRINCH attack bound to one victim instance and configuration.
 
-    The attacker's interface to the victim is strictly the access-driven
-    channel of :class:`CacheAttackRunner` plus one known pair for final
-    verification; the victim's key is never read by the attack logic
-    (the test suite plants random keys and checks exact recovery).
+    The attacker's interface to the victim is strictly the observation
+    channel (:class:`~repro.channel.ObservationChannel`) plus one known
+    pair for final verification; the victim's key is never read by the
+    attack logic (the test suite plants random keys and checks exact
+    recovery).
     """
 
     def __init__(self, victim: TracedGiftCipher,
@@ -104,15 +106,23 @@ class GrinchAttack:
             )
         self.profile = profile_for_width(victim.width)
         # ``runner`` lets alternative observation substrates plug in —
-        # e.g. the cross-core shared-L2 runner of repro.core.crosscore.
+        # e.g. the cross-core shared-L2 channel of repro.core.crosscore,
+        # or an ObservationChannel with a custom primitive/transport/
+        # degradation stack.
         self.runner = (runner if runner is not None
-                       else CacheAttackRunner(victim, self.config))
+                       else ObservationChannel(victim, self.config))
         self.monitor = self.runner.monitor
         # Plaintext-crafting stream; derived (not raw-seeded) so it is
-        # independent of the runner's noise stream and reproducible even
-        # for seed=None — see repro.engine.seeding.
+        # independent of the channel's noise stream and reproducible
+        # even for seed=None — see repro.seeding.
         self.rng = derive_rng("attack-crafting", self.config.seed)
         self.total_encryptions = 0
+
+    @property
+    def channel(self) -> ObservationChannel:
+        """The observation channel (alias of ``runner``, the historic
+        parameter name kept for drop-in compatibility)."""
+        return self.runner
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -340,7 +350,7 @@ class GrinchAttack:
         stalled_for = 0
         for _ in range(self.config.max_encryptions_per_segment):
             self._charge_encryption()
-            observed = self.runner.observe_encryption(
+            observed = self.runner.observe(
                 crafter.craft(), spec.round_index
             )
             eliminator.update(observed)
@@ -375,10 +385,13 @@ class GrinchAttack:
         )
 
     def _voting_policy(self) -> VotingPolicy:
-        """Calibrate the voter against the configured lossy channel."""
+        """Calibrate the voter against the composed channel's losses."""
         presence = self.config.loss.expected_target_presence(
             len(self.monitor.lines), self.config.probing_round
         )
+        # A noisy primitive readout (Flush+Flush) loses genuine target
+        # sightings on top of the channel-level loss model.
+        presence *= getattr(self.runner, "signal_reliability", 1.0)
         return VotingPolicy(
             expected_presence=presence,
             confidence_threshold=self.config.voting_confidence,
@@ -444,7 +457,7 @@ class GrinchAttack:
         while spent < budget:
             self._charge_encryption()
             spent += 1
-            voter.update(self.runner.observe_encryption(
+            voter.update(self.runner.observe(
                 crafter.craft(), spec.round_index
             ))
             if voter.rejected or (
@@ -582,11 +595,7 @@ class GrinchAttack:
         if lines <= 1:
             return 0
         visible_rounds = self.config.probing_round
-        mid_flush = getattr(
-            self.runner, "mid_flush_supported",
-            getattr(getattr(self.runner, "probe", None),
-                    "supports_mid_flush", False),
-        )
+        mid_flush = getattr(self.runner, "mid_flush_supported", False)
         if not (self.config.use_flush and mid_flush):
             visible_rounds += attacked_round
         other = (lines - 1) / lines

@@ -13,11 +13,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cache.geometry import CacheGeometry
+from ..channel.degradation import LOSSLESS, NO_NOISE, LossyChannel, NoiseModel
 from ..gift.lut import TableLayout
-from .noise import LOSSLESS, NO_NOISE, LossyChannel, NoiseModel
 
 #: Probe primitive names accepted by :class:`AttackConfig`.
-PROBE_STRATEGIES = ("flush_reload", "prime_probe")
+PROBE_STRATEGIES = ("flush_reload", "prime_probe", "flush_flush")
 
 #: Candidate-recovery modes accepted by :class:`AttackConfig`.
 RECOVERY_MODES = ("auto", "strict", "voting")
@@ -43,7 +43,16 @@ class AttackConfig:
         round ``t`` (the paper's "Grinch with Flush" series).  Without
         it, rounds ``1..t`` contribute "dirty" accesses.
     probe_strategy:
-        ``"flush_reload"`` (paper's choice) or ``"prime_probe"``.
+        ``"flush_reload"`` (paper's choice), ``"prime_probe"``, or
+        ``"flush_flush"`` (Gruss et al.'s stealthy flush-latency
+        channel; see ``flush_flush_miss_probability``).
+    flush_flush_miss_probability:
+        Per-readout false-negative rate of the Flush+Flush signal (the
+        flush-latency margin is small, so a present line is sometimes
+        read as absent; scaled per cache set — see
+        :class:`~repro.channel.primitive.FlushFlush`).  Ignored by the
+        other primitives.  A positive value makes ``recovery="auto"``
+        vote, exactly like a lossy channel.
     max_encryptions_per_segment:
         Per-segment convergence budget; exceeding it raises
         :class:`~repro.core.errors.BudgetExceeded`.
@@ -79,7 +88,7 @@ class AttackConfig:
     loss:
         False-negative channel model (per-line signal misses, co-runner
         eviction, probe-round jitter) — see
-        :class:`~repro.core.noise.LossyChannel`.  The default is the
+        :class:`~repro.channel.degradation.LossyChannel`.  The default is the
         lossless channel the strict intersection assumes.
     recovery:
         Candidate-recovery mode: ``"strict"`` (monotone intersection,
@@ -121,6 +130,7 @@ class AttackConfig:
     probing_round: int = 1
     use_flush: bool = True
     probe_strategy: str = "flush_reload"
+    flush_flush_miss_probability: float = 0.02
     max_encryptions_per_segment: int = 100_000
     max_total_encryptions: Optional[int] = 1_000_000
     confirmation_margin: Optional[int] = None
@@ -145,6 +155,11 @@ class AttackConfig:
             raise ValueError(
                 f"probe_strategy must be one of {PROBE_STRATEGIES}, "
                 f"got {self.probe_strategy!r}"
+            )
+        if not 0.0 <= self.flush_flush_miss_probability < 1.0:
+            raise ValueError(
+                f"flush_flush_miss_probability must be in [0, 1), "
+                f"got {self.flush_flush_miss_probability}"
             )
         if self.max_encryptions_per_segment < 1:
             raise ValueError("max_encryptions_per_segment must be positive")
@@ -180,6 +195,12 @@ class AttackConfig:
             return True
         if self.recovery == "strict":
             return False
+        if (self.probe_strategy == "flush_flush"
+                and self.flush_flush_miss_probability > 0.0):
+            # A noisy Flush+Flush readout loses genuine accesses just
+            # like a lossy channel, so strict intersection would
+            # contradict on it.
+            return True
         return not self.loss.is_lossless
 
     @property
@@ -187,8 +208,11 @@ class AttackConfig:
         """Whether the accelerated observation path preserves semantics.
 
         The fast path skips the LRU machinery; that is exact only for
-        Flush+Reload (line-granular, no set conflicts with other tables)
-        — Prime+Probe observes at set granularity where the PermBits
+        the line-granular flush-based primitives (Flush+Reload and
+        Flush+Flush: no set conflicts with other tables, and the
+        readout noise applies identically on both paths) —
+        Prime+Probe observes at set granularity where the PermBits
         table interferes, so it must run on the full simulator.
         """
-        return self.use_fast_path and self.probe_strategy == "flush_reload"
+        return (self.use_fast_path
+                and self.probe_strategy in ("flush_reload", "flush_flush"))

@@ -6,10 +6,11 @@ victim runs on core 0 behind a private L1, the attacker on core 1 can
 only sense the *shared L2* (its reloads hit there, never in the
 victim's L1) but wields a ``clflush`` that purges the whole hierarchy.
 
-Exposes the same interface as
-:class:`~repro.core.runner.CacheAttackRunner`, so
-:class:`~repro.core.attack.GrinchAttack` runs unchanged on top — only
-the observability differs:
+Since the observation-channel refactor this is a thin specialisation
+of :class:`~repro.channel.ObservationChannel`: all the cross-core
+behaviour lives in :class:`~repro.channel.transport.SharedL2Transport`,
+and :class:`~repro.core.attack.GrinchAttack` runs unchanged on top —
+only the observability differs:
 
 * **inclusive L2**: every victim miss fills L2 too, so after a flush
   the first touch of each line is visible — the attack goes through.
@@ -21,35 +22,35 @@ the observability differs:
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Optional
+from typing import Optional
 
 from ..cache.multilevel import (
     InclusionPolicy,
     TwoLevelHierarchy,
 )
-from ..engine.seeding import derive_rng
+from ..channel.observer import ObservationChannel
+from ..channel.transport import ATTACKER_CORE, VICTIM_CORE, SharedL2Transport
 from ..gift.lut import TracedGiftCipher
 from .config import AttackConfig
-from .monitor import SboxMonitor
 
-#: Core indices of the two parties.
-VICTIM_CORE = 0
-ATTACKER_CORE = 1
+__all__ = [
+    "ATTACKER_CORE",
+    "VICTIM_CORE",
+    "CrossCoreRunner",
+    "make_cross_core_runner",
+]
 
 
-class CrossCoreRunner:
-    """Drop-in runner whose observations go through a shared L2."""
+class CrossCoreRunner(ObservationChannel):
+    """Drop-in observation channel whose probes go through a shared L2."""
 
     def __init__(self, victim: TracedGiftCipher, config: AttackConfig,
                  hierarchy: Optional[TwoLevelHierarchy] = None,
                  rng: Optional[random.Random] = None) -> None:
-        if config.probe_strategy != "flush_reload":
+        if config.probe_strategy == "prime_probe":
             raise ValueError(
                 "the cross-core runner models a clflush-based attacker"
             )
-        self.victim = victim
-        self.config = config
-        self.monitor = SboxMonitor.build(victim.layout, config.geometry)
         if hierarchy is None:
             hierarchy = TwoLevelHierarchy()
         if hierarchy.cores < 2:
@@ -58,81 +59,12 @@ class CrossCoreRunner:
             raise ValueError(
                 "hierarchy line size must match the attack geometry"
             )
+        super().__init__(
+            victim, config, rng,
+            transport=SharedL2Transport(hierarchy),
+            rng_scope="crosscore",
+        )
         self.hierarchy = hierarchy
-        self._monitored_addresses = self.monitor.line_addresses()
-        self._noise_rng = (rng if rng is not None
-                           else derive_rng("crosscore-noise", config.seed))
-        self._loss_rng = derive_rng("crosscore-loss", config.seed)
-        self.encryptions_run = 0
-
-    @property
-    def fast_path_active(self) -> bool:
-        """The hierarchy semantics require the full simulation."""
-        return False
-
-    #: clflush purges all levels, so mid-encryption flushing works.
-    mid_flush_supported = True
-
-    def observe_encryption(self, plaintext: int, attacked_round: int
-                           ) -> FrozenSet[int]:
-        """Same contract as the single-level runner, through L2."""
-        if attacked_round < 1:
-            raise ValueError(
-                f"attacked_round must be >= 1, got {attacked_round}"
-            )
-        self.encryptions_run += 1
-        loss = self.config.loss
-        visible_through = attacked_round + self.config.probing_round
-        if not loss.jitter.is_still:
-            visible_through += loss.sample_jitter(self._loss_rng)
-            visible_through = min(visible_through, self.victim.rounds)
-        first_visible = (attacked_round + 1 if self.config.use_flush
-                         else 1)
-        if visible_through < first_visible:
-            self._flush_monitored()
-            observed: FrozenSet[int] = self._reload()
-        else:
-            trace = self.victim.encrypt_traced(
-                plaintext, max_rounds=visible_through
-            )
-            self._flush_monitored()
-            flushed = False
-            for access in trace.accesses:
-                if (self.config.use_flush and not flushed
-                        and access.round_index > attacked_round):
-                    self._flush_monitored()
-                    flushed = True
-                self.hierarchy.access(VICTIM_CORE, access.address)
-            if self.config.use_flush and not flushed:
-                self._flush_monitored()
-            for address in self.config.noise.sample(
-                    self._monitored_addresses, self._noise_rng):
-                self.hierarchy.access(VICTIM_CORE, address)
-            observed = self._reload()
-        if loss.is_lossless:
-            return observed
-        return loss.drop_lines(observed, self.monitor.lines,
-                               self._loss_rng)
-
-    def _flush_monitored(self) -> None:
-        for address in self._monitored_addresses:
-            self.hierarchy.flush_line(address)
-
-    def _reload(self) -> FrozenSet[int]:
-        observed = set()
-        for line, address in zip(self.monitor.lines,
-                                 self._monitored_addresses):
-            # The attacker's reload can only hit in its own (flushed)
-            # L1 or the shared L2 — victim-L1 residency is invisible.
-            if self.hierarchy.is_resident_l2(address):
-                observed.add(line)
-            # Touch it from the attacker core, as a real reload would.
-            self.hierarchy.access(ATTACKER_CORE, address)
-        return frozenset(observed)
-
-    def known_pair(self, plaintext: int) -> int:
-        """One plaintext/ciphertext pair for final verification."""
-        return self.victim.encrypt(plaintext)
 
 
 def make_cross_core_runner(victim: TracedGiftCipher, config: AttackConfig,

@@ -1,83 +1,20 @@
-"""Mapping between S-box indices and the cache lines the attacker watches.
+"""Deprecated: :class:`SboxMonitor` moved to :mod:`repro.channel.monitor`.
 
-With a line of ``L`` words (1 byte each on the paper's platforms) the
-16-byte S-box spans ``16 / L`` cache lines, each covering ``L``
-consecutive indices.  The attacker's observations are *line*-granular;
-this module owns the index-to-line arithmetic, including the paper's
-Section III-D point that growing lines obfuscate the low index bits.
+This module is an import shim for pre-stack code and will be removed
+after one deprecation cycle (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+import warnings
 
-from ..cache.geometry import CacheGeometry
-from ..gift.lut import TableLayout
-from ..gift.sbox import SBOX_SIZE
+from ..channel.monitor import SboxMonitor
 
+warnings.warn(
+    "repro.core.monitor is deprecated; import SboxMonitor from "
+    "repro.channel instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass(frozen=True)
-class SboxMonitor:
-    """Precomputed view of the S-box table through a cache geometry."""
-
-    layout: TableLayout
-    geometry: CacheGeometry
-    lines: Tuple[int, ...]
-    indices_by_line: Dict[int, Tuple[int, ...]]
-    line_by_index: Tuple[int, ...]
-
-    @classmethod
-    def build(cls, layout: TableLayout, geometry: CacheGeometry
-              ) -> "SboxMonitor":
-        """Derive the monitored lines for a layout/geometry pair."""
-        line_by_index = tuple(
-            geometry.line_of(layout.sbox_address(index))
-            for index in range(SBOX_SIZE)
-        )
-        indices_by_line: Dict[int, List[int]] = {}
-        for index, line in enumerate(line_by_index):
-            indices_by_line.setdefault(line, []).append(index)
-        return cls(
-            layout=layout,
-            geometry=geometry,
-            lines=tuple(sorted(indices_by_line)),
-            indices_by_line={
-                line: tuple(indices)
-                for line, indices in indices_by_line.items()
-            },
-            line_by_index=line_by_index,
-        )
-
-    @property
-    def universe(self) -> FrozenSet[int]:
-        """All monitored line numbers (the candidate universe)."""
-        return frozenset(self.lines)
-
-    @property
-    def indices_per_line(self) -> int:
-        """How many S-box indices one cache line covers."""
-        return max(len(v) for v in self.indices_by_line.values())
-
-    def line_for_index(self, index: int) -> int:
-        """Cache line number holding S-box entry ``index``."""
-        if not 0 <= index < SBOX_SIZE:
-            raise ValueError(f"S-box index must be a 4-bit value, got {index}")
-        return self.line_by_index[index]
-
-    def indices_for_line(self, line: int) -> Tuple[int, ...]:
-        """S-box indices covered by a monitored ``line``."""
-        if line not in self.indices_by_line:
-            raise ValueError(f"line {line} does not hold S-box entries")
-        return self.indices_by_line[line]
-
-    def line_addresses(self) -> List[int]:
-        """One representative byte address per monitored line.
-
-        Flush+Reload flushes/reloads these; the first covered index's
-        address suffices because residency is line-granular.
-        """
-        return [
-            self.layout.sbox_address(self.indices_by_line[line][0])
-            for line in self.lines
-        ]
+__all__ = ["SboxMonitor"]

@@ -1,214 +1,36 @@
-"""Noise models for the attacker's probe window.
+"""Deprecated: noise/loss models moved to :mod:`repro.channel.degradation`.
 
-The paper attributes extra attack effort to "the amount of noise (e.g.,
-multiple processes disputing the processor)" (Section IV-B1).  In an
-access-driven attack, a concurrent process can only *add* lines to the
-cache between the victim's rounds and the probe — it never removes the
-target's footprint — so noise slows candidate elimination without
-corrupting it.  :class:`NoiseModel` injects such spurious accesses.
-
-Real channels are lossier than that.  The paper's own platform study
-(Table II) shows the probe landing anywhere in rounds 2–7 depending on
-clock and SoC, coarse timers and eviction-based probes miss genuine
-accesses outright, and Flush+Flush-style probes have an unreliable
-hit/miss signal per line.  :class:`LossyChannel` models those *false
-negatives* — observations where a line the victim really touched is
-absent — which break the monotone-intersection soundness assumption and
-motivate the voting recovery of :mod:`repro.core.voting`.
+This module is an import shim for pre-stack code and will be removed
+after one deprecation cycle (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Sequence, Tuple
+import warnings
 
+from ..channel.degradation import (
+    LOSSLESS,
+    NO_JITTER,
+    NO_NOISE,
+    LossyChannel,
+    NoiseModel,
+    ProbeJitter,
+    jitter_from_platform,
+)
 
-@dataclass(frozen=True)
-class NoiseModel:
-    """Spurious accesses landing in the monitored region per probe window.
+warnings.warn(
+    "repro.core.noise is deprecated; import degradation models from "
+    "repro.channel instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-    Parameters
-    ----------
-    touch_probability:
-        Chance that a noisy co-running process executes at all during one
-        encryption's probe window.
-    monitored_touches:
-        How many loads that process issues into the monitored table range
-        when it runs (addresses drawn uniformly over the table).
-    """
-
-    touch_probability: float = 0.0
-    monitored_touches: int = 0
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.touch_probability <= 1.0:
-            raise ValueError(
-                f"touch_probability must be in [0, 1], got {self.touch_probability}"
-            )
-        if self.monitored_touches < 0:
-            raise ValueError(
-                f"monitored_touches must be non-negative, "
-                f"got {self.monitored_touches}"
-            )
-
-    @property
-    def is_silent(self) -> bool:
-        """True when the model can never produce an access."""
-        return self.touch_probability == 0.0 or self.monitored_touches == 0
-
-    def sample(self, monitored_addresses: Sequence[int],
-               rng: random.Random) -> List[int]:
-        """Addresses the noisy process touches during one probe window."""
-        if self.is_silent or not monitored_addresses:
-            return []
-        if rng.random() >= self.touch_probability:
-            return []
-        return [
-            rng.choice(monitored_addresses)
-            for _ in range(self.monitored_touches)
-        ]
-
-
-#: Convenience instance: a quiet system (the paper's RTL "clean data").
-NO_NOISE = NoiseModel()
-
-
-@dataclass(frozen=True)
-class ProbeJitter:
-    """Distribution of the probe's landing round around its target.
-
-    Table II shows the probe does not land where the attacker aims it:
-    depending on clock frequency and platform it observes the state
-    after anywhere from round 2 to round 7.  ``offsets[i]`` shifts the
-    last visible round by that many rounds with probability
-    ``weights[i]``; a negative draw can pull the probe *before* the
-    target access, losing the entire observation.
-    """
-
-    offsets: Tuple[int, ...] = (0,)
-    weights: Tuple[float, ...] = (1.0,)
-
-    def __post_init__(self) -> None:
-        if len(self.offsets) != len(self.weights) or not self.offsets:
-            raise ValueError(
-                "jitter needs matching, non-empty offsets and weights"
-            )
-        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
-            raise ValueError("jitter weights must be non-negative and "
-                             "sum to a positive total")
-
-    @property
-    def is_still(self) -> bool:
-        """True when the probe always lands exactly where aimed."""
-        return all(o == 0 for o in self.offsets)
-
-    def sample(self, rng: random.Random) -> int:
-        """Draw one probe-round offset."""
-        if self.is_still:
-            return 0
-        return rng.choices(self.offsets, weights=self.weights, k=1)[0]
-
-    def target_visibility(self, probing_round: int) -> float:
-        """Probability the jittered probe still covers the target round.
-
-        The target access happens in round ``t + 1``; a draw ``d`` moves
-        the last visible round to ``t + probing_round + d``, so the
-        target stays visible iff ``d >= 1 - probing_round``.
-        """
-        total = sum(self.weights)
-        visible = sum(
-            w for o, w in zip(self.offsets, self.weights)
-            if o >= 1 - probing_round
-        )
-        return visible / total
-
-
-#: Convenience instance: a perfectly timed probe.
-NO_JITTER = ProbeJitter()
-
-
-@dataclass(frozen=True)
-class LossyChannel:
-    """False-negative model of the attacker's observation channel.
-
-    Parameters
-    ----------
-    miss_probability:
-        Chance that the probe's per-line hit/miss signal reads a
-        genuinely present line as absent (Flush+Flush-style unreliable
-        signal, coarse timers).  Applied independently per observed
-        line per probe window.
-    eviction_rate:
-        Chance per probe window that a co-running process evicts one
-        uniformly chosen monitored line before the probe runs; if that
-        line was touched, its footprint is gone.
-    jitter:
-        Probe-round jitter (see :class:`ProbeJitter`).  A draw that
-        pulls the probe before the target round loses every visible
-        access of the window at once.
-    """
-
-    miss_probability: float = 0.0
-    eviction_rate: float = 0.0
-    jitter: ProbeJitter = field(default_factory=ProbeJitter)
-
-    def __post_init__(self) -> None:
-        for name in ("miss_probability", "eviction_rate"):
-            value = getattr(self, name)
-            if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {value}")
-
-    @property
-    def is_lossless(self) -> bool:
-        """True when every genuine access is guaranteed to be observed."""
-        return (self.miss_probability == 0.0
-                and self.eviction_rate == 0.0
-                and self.jitter.is_still)
-
-    def sample_jitter(self, rng: random.Random) -> int:
-        """Probe-round offset for one window (0 when still)."""
-        return self.jitter.sample(rng)
-
-    def drop_lines(self, observed: FrozenSet[int],
-                   monitored_lines: Sequence[int],
-                   rng: random.Random) -> FrozenSet[int]:
-        """Apply eviction and per-line signal misses to one observation.
-
-        Jitter is *not* applied here — it changes which rounds are
-        visible and therefore must shift the window before the victim
-        runs (see :class:`~repro.core.runner.CacheAttackRunner`).
-        """
-        if not observed:
-            return observed
-        surviving = set(observed)
-        if self.eviction_rate > 0.0 and monitored_lines:
-            if rng.random() < self.eviction_rate:
-                surviving.discard(rng.choice(list(monitored_lines)))
-        if self.miss_probability > 0.0:
-            surviving = {
-                line for line in surviving
-                if rng.random() >= self.miss_probability
-            }
-        return frozenset(surviving)
-
-    def expected_target_presence(self, monitored_lines: int,
-                                 probing_round: int) -> float:
-        """Per-observation probability that the constant target line
-        survives the channel.
-
-        The target access is in the window unless jitter pulls the
-        probe too early; it then survives the co-runner eviction (which
-        picks it with chance ``eviction_rate / monitored_lines``) and
-        the per-line signal miss.  This is the presence rate the voting
-        recovery calibrates its statistics against.
-        """
-        if monitored_lines < 1:
-            raise ValueError("monitored_lines must be positive")
-        visible = self.jitter.target_visibility(probing_round)
-        evicted = self.eviction_rate / monitored_lines
-        return visible * (1.0 - evicted) * (1.0 - self.miss_probability)
-
-
-#: Convenience instance: the seed reproduction's implicit assumption.
-LOSSLESS = LossyChannel()
+__all__ = [
+    "LOSSLESS",
+    "NO_JITTER",
+    "NO_NOISE",
+    "LossyChannel",
+    "NoiseModel",
+    "ProbeJitter",
+    "jitter_from_platform",
+]

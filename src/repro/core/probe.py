@@ -1,130 +1,43 @@
-"""Cache probing primitives (Step 2 of the GRINCH methodology).
+"""Deprecated: probing primitives moved to :mod:`repro.channel.primitive`.
 
-Two classical access-driven primitives are provided:
-
-* **Flush+Reload** — the paper's choice: the attacker flushes the
-  monitored lines, lets the victim run, and reloads each line, timing
-  the reload (hit = victim touched it).  Because a flush is a single
-  fast operation it can also be issued *mid-encryption* (the paper's
-  "Grinch with Flush" series), discarding earlier rounds' noise.
-
-* **Prime+Probe** — the attacker fills the monitored cache *sets* with
-  its own lines, lets the victim run, then re-accesses its lines; a miss
-  means the victim displaced something in that set.  Observation is
-  set-granular, so unrelated victim tables (PermBits) that collide in
-  the same sets produce false positives — one reason Flush+Reload is the
-  better choice for GRINCH (Section III-C).
-
-Both strategies translate raw hit/miss results into "monitored line was
-touched" observations; they never read the victim's metadata.
+This module is an import shim for pre-stack code.  ``ProbeStrategy``
+is the historic name of
+:class:`~repro.channel.primitive.ProbePrimitive` and ``make_probe`` of
+:func:`~repro.channel.primitive.make_primitive`; both will be removed
+after one deprecation cycle (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, List
+import warnings
 
-from ..cache.setassoc import SetAssociativeCache
-from .monitor import SboxMonitor
+from ..channel.primitive import (
+    FlushFlush,
+    FlushReload,
+    PrimeProbe,
+    ProbePrimitive,
+    make_primitive,
+)
 
+warnings.warn(
+    "repro.core.probe is deprecated; import probing primitives from "
+    "repro.channel instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-class ProbeStrategy(ABC):
-    """One probing primitive bound to a monitor (what to watch)."""
+#: Historic name of :class:`~repro.channel.primitive.ProbePrimitive`.
+ProbeStrategy = ProbePrimitive
 
-    #: Whether the primitive can clear the monitored state mid-encryption.
-    supports_mid_flush: bool = False
+#: Historic name of :func:`~repro.channel.primitive.make_primitive`.
+make_probe = make_primitive
 
-    def __init__(self, monitor: SboxMonitor) -> None:
-        self.monitor = monitor
-
-    @abstractmethod
-    def reset(self, cache: SetAssociativeCache) -> None:
-        """Prepare the cache before the victim runs."""
-
-    def mid_flush(self, cache: SetAssociativeCache) -> None:
-        """Clear monitored state mid-encryption (if supported)."""
-        raise NotImplementedError(
-            f"{type(self).__name__} cannot flush mid-encryption"
-        )
-
-    @abstractmethod
-    def observe(self, cache: SetAssociativeCache) -> FrozenSet[int]:
-        """Return the monitored lines the victim (apparently) touched."""
-
-
-class FlushReload(ProbeStrategy):
-    """Flush+Reload over the S-box table lines."""
-
-    supports_mid_flush = True
-
-    def reset(self, cache: SetAssociativeCache) -> None:
-        for address in self.monitor.line_addresses():
-            cache.flush_line(address)
-
-    def mid_flush(self, cache: SetAssociativeCache) -> None:
-        self.reset(cache)
-
-    def observe(self, cache: SetAssociativeCache) -> FrozenSet[int]:
-        observed = set()
-        for line, address in zip(self.monitor.lines,
-                                 self.monitor.line_addresses()):
-            if cache.access(address):  # the "reload": hit == was resident
-                observed.add(line)
-        return frozenset(observed)
-
-
-class PrimeProbe(ProbeStrategy):
-    """Prime+Probe over the cache sets holding the S-box table.
-
-    The attacker owns ``ways`` lines per monitored set, placed at a
-    disjoint tag range (modelling its own arrays).  Observation marks
-    *every* monitored line whose set shows evictions — the set-granular
-    over-approximation inherent to the primitive.
-    """
-
-    supports_mid_flush = False
-
-    #: Tag offset of the attacker's eviction arrays (far from the victim).
-    ATTACKER_TAG_BASE = 1 << 20
-
-    def __init__(self, monitor: SboxMonitor) -> None:
-        super().__init__(monitor)
-        geometry = monitor.geometry
-        self._lines_by_set: Dict[int, List[int]] = {}
-        for line, address in zip(monitor.lines, monitor.line_addresses()):
-            self._lines_by_set.setdefault(
-                geometry.set_of(address), []
-            ).append(line)
-        self._prime_addresses: Dict[int, List[int]] = {
-            set_index: [
-                (self.ATTACKER_TAG_BASE + way) * geometry.num_sets
-                * geometry.line_bytes
-                + set_index * geometry.line_bytes
-                for way in range(geometry.ways)
-            ]
-            for set_index in self._lines_by_set
-        }
-
-    def reset(self, cache: SetAssociativeCache) -> None:
-        for addresses in self._prime_addresses.values():
-            for address in addresses:
-                cache.access(address)
-
-    def observe(self, cache: SetAssociativeCache) -> FrozenSet[int]:
-        observed = set()
-        for set_index, addresses in self._prime_addresses.items():
-            evictions = sum(
-                0 if cache.access(address) else 1 for address in addresses
-            )
-            if evictions:
-                observed.update(self._lines_by_set[set_index])
-        return frozenset(observed)
-
-
-def make_probe(name: str, monitor: SboxMonitor) -> ProbeStrategy:
-    """Instantiate a probe strategy by config name."""
-    if name == "flush_reload":
-        return FlushReload(monitor)
-    if name == "prime_probe":
-        return PrimeProbe(monitor)
-    raise ValueError(f"unknown probe strategy {name!r}")
+__all__ = [
+    "FlushFlush",
+    "FlushReload",
+    "PrimeProbe",
+    "ProbePrimitive",
+    "ProbeStrategy",
+    "make_primitive",
+    "make_probe",
+]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from .monitor import SboxMonitor
+from ..channel.monitor import SboxMonitor
 from .target_bits import TargetSpec
 
 #: A candidate for one segment's two round-key bits: ``(v_bit, u_bit)``.

@@ -1,171 +1,26 @@
-"""Execution of one victim encryption under attacker observation.
+"""Deprecated: the runner became :class:`repro.channel.ObservationChannel`.
 
-:class:`CacheAttackRunner` wires together the traced victim, the shared
-cache, the probe strategy and the noise model, and answers the only
-question the attack ever asks: *which monitored lines did this
-encryption (appear to) touch, given my probe landed after round N?*
-
-Two execution paths produce that answer:
-
-* the **full path** replays the victim's complete address stream through
-  the set-associative simulator and runs the probe primitive on it —
-  used for Prime+Probe, for ablations, and as ground truth in tests;
-* the **fast path** computes the observation directly from the S-box
-  accesses in the visible round window — exact for Flush+Reload under
-  the default layouts (monitored lines can never be evicted: the
-  victim's visible working set per cache set is far below the paper's
-  16 ways), and ~40x faster, which the million-encryption sweeps of
-  Table I need.  An equivalence test in the suite proves the two paths
-  agree observation-for-observation.
+``CacheAttackRunner`` is the historic name of the observation stack's
+L4 entry point; the class below is a direct alias (constructor
+signature included — ``CacheAttackRunner(victim, config, rng)`` still
+works).  This shim will be removed after one deprecation cycle (see
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
-import random
-from typing import FrozenSet, Optional
+import warnings
 
-from ..cache.setassoc import SetAssociativeCache
-from ..engine.seeding import derive_rng
-from ..gift.lut import TracedGiftCipher
-from .config import AttackConfig
-from .monitor import SboxMonitor
-from .probe import ProbeStrategy, make_probe
+from ..channel.observer import ObservationChannel
 
+warnings.warn(
+    "repro.core.runner is deprecated; use "
+    "repro.channel.ObservationChannel instead of CacheAttackRunner",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-class CacheAttackRunner:
-    """Runs crafted encryptions and returns probe observations.
+#: Historic name of :class:`~repro.channel.observer.ObservationChannel`.
+CacheAttackRunner = ObservationChannel
 
-    The runner holds the victim instance (and therefore the secret key),
-    but exposes only the access-driven channel: callers submit a
-    plaintext and receive the set of monitored lines the probe reports.
-    """
-
-    def __init__(self, victim: TracedGiftCipher, config: AttackConfig,
-                 rng: Optional[random.Random] = None) -> None:
-        self.victim = victim
-        self.config = config
-        self.monitor = SboxMonitor.build(victim.layout, config.geometry)
-        self.cache = SetAssociativeCache(config.geometry)
-        self.probe: ProbeStrategy = make_probe(
-            config.probe_strategy, self.monitor
-        )
-        # Scope-derived so the noise stream is independent of the
-        # attacker's crafting stream, and deterministic even when no
-        # seed was configured (seed=None is a valid, reproducible seed).
-        self._noise_rng = (rng if rng is not None
-                           else derive_rng("runner-noise", config.seed))
-        # The loss stream is separate again so a lossless run consumes
-        # exactly the randomness it did before the channel existed.
-        self._loss_rng = derive_rng("runner-loss", config.seed)
-        self._monitored_addresses = self.monitor.line_addresses()
-        self.encryptions_run = 0
-
-    @property
-    def fast_path_active(self) -> bool:
-        """Whether observations take the accelerated exact path."""
-        return self.config.fast_path_applicable
-
-    def observe_encryption(self, plaintext: int, attacked_round: int
-                           ) -> FrozenSet[int]:
-        """Encrypt ``plaintext`` and return the probe's line observation.
-
-        ``attacked_round`` is the round whose key bits are targeted
-        (``t``); the probe lands after round ``t + probing_round``
-        completes, and — when the flush is enabled and the primitive
-        supports it — the monitored lines are flushed right after round
-        ``t`` so earlier rounds leave no residue.
-        """
-        if attacked_round < 1:
-            raise ValueError(
-                f"attacked_round must be >= 1, got {attacked_round}"
-            )
-        self.encryptions_run += 1
-        loss = self.config.loss
-        visible_through = attacked_round + self.config.probing_round
-        if not loss.jitter.is_still:
-            # A jittered probe lands early or late: late draws add later
-            # rounds' accesses, early draws can lose the target round —
-            # or the whole window — outright.
-            visible_through += loss.sample_jitter(self._loss_rng)
-            visible_through = min(visible_through, self.victim.rounds)
-        flush_supported = (self.config.use_flush
-                           and self.probe.supports_mid_flush)
-        first_visible = attacked_round + 1 if flush_supported else 1
-
-        if visible_through < first_visible:
-            observed: FrozenSet[int] = frozenset()
-        elif self.fast_path_active:
-            observed = self._fast_observation(
-                plaintext, first_visible, visible_through
-            )
-        else:
-            observed = self._full_observation(
-                plaintext, attacked_round, visible_through, flush_supported
-            )
-        observed |= self._noise_lines()
-        if loss.is_lossless:
-            return observed
-        return loss.drop_lines(observed, self.monitor.lines,
-                               self._loss_rng)
-
-    # ------------------------------------------------------------------
-    # Paths
-    # ------------------------------------------------------------------
-
-    def _fast_observation(self, plaintext: int, first_visible: int,
-                          visible_through: int) -> FrozenSet[int]:
-        indices_by_round = self.victim.sbox_indices_by_round(
-            plaintext, max_rounds=visible_through
-        )
-        line_by_index = self.monitor.line_by_index
-        return frozenset(
-            line_by_index[index]
-            for round_indices in indices_by_round[first_visible - 1:]
-            for index in round_indices
-        )
-
-    def _full_observation(self, plaintext: int, attacked_round: int,
-                          visible_through: int,
-                          flush_supported: bool) -> FrozenSet[int]:
-        trace = self.victim.encrypt_traced(
-            plaintext, max_rounds=visible_through
-        )
-        self.probe.reset(self.cache)
-        flushed = False
-        for access in trace.accesses:
-            if (flush_supported and not flushed
-                    and access.round_index > attacked_round):
-                self.probe.mid_flush(self.cache)
-                flushed = True
-            self.cache.access(access.address)
-        if flush_supported and not flushed:
-            # The visible window ended exactly at the flush point.
-            self.probe.mid_flush(self.cache)
-        return self.probe.observe(self.cache)
-
-    def _noise_lines(self) -> FrozenSet[int]:
-        addresses = self.config.noise.sample(
-            self._monitored_addresses, self._noise_rng
-        )
-        if not addresses:
-            return frozenset()
-        if not self.fast_path_active:
-            for address in addresses:
-                self.cache.access(address)
-        return frozenset(
-            self.monitor.geometry.line_of(address) for address in addresses
-        )
-
-    # ------------------------------------------------------------------
-    # Verification channel
-    # ------------------------------------------------------------------
-
-    def known_pair(self, plaintext: int) -> int:
-        """Return the victim's ciphertext for ``plaintext``.
-
-        The threat model lets the attacker submit data for encryption and
-        see the result; GRINCH uses a single such pair to verify the
-        assembled master key (and to disambiguate residual candidates
-        with wide cache lines).
-        """
-        return self.victim.encrypt(plaintext)
+__all__ = ["CacheAttackRunner"]

@@ -91,7 +91,7 @@ class VotingPolicy:
     expected_presence:
         Per-observation probability that the true target line survives
         the channel (see
-        :meth:`~repro.core.noise.LossyChannel.expected_target_presence`).
+        :meth:`~repro.channel.degradation.LossyChannel.expected_target_presence`).
         ``1.0`` makes the voter behave exactly like the strict
         intersection.
     confidence_threshold:

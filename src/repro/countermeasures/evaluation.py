@@ -22,7 +22,6 @@ reconstruction — exactly the paper's two distinct protection arguments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-import random
 from typing import Optional
 
 from ..cache.geometry import CacheGeometry
@@ -30,6 +29,7 @@ from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
 from ..core.errors import AttackError
 from ..gift.lut import TracedGift64, TracedGiftCipher
+from ..seeding import derive_rng
 from .hardened_schedule import HardenedKeyScheduleGift64
 from .reshaped_sbox import RECOMMENDED_GEOMETRY, ReshapedSboxGift64
 
@@ -77,7 +77,7 @@ def profile_leakage(victim: TracedGiftCipher,
     """
     if encryptions < 1:
         raise ValueError(f"encryptions must be positive, got {encryptions}")
-    rng = random.Random(seed)
+    rng = derive_rng("leakage-profile", seed)
     first_round = 2 if use_flush else 1
     last_round = 1 + probing_round
 

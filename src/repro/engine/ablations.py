@@ -15,13 +15,13 @@ from ..cache.geometry import CacheGeometry
 from ..cache.setassoc import SetAssociativeCache
 from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
-from ..core.noise import NoiseModel
+from ..channel import NoiseModel
 from ..gift.lut import TracedGift64
 from ..staticcheck import declassify
 from .artifact import trial_summary
 from .params import Param, spec
 from .registry import CellPlan, Experiment, register
-from .seeding import derive_key
+from ..seeding import derive_key
 
 
 def _passthrough_finalize(params: Mapping[str, Any],

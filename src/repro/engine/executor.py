@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .registry import CellPlan, Experiment, get
-from .seeding import trial_seed
+from ..seeding import trial_seed
 from .telemetry import ProgressEvent, ProgressHook
 
 #: (experiment name, resolved params, cell, trial index, derived seed).

@@ -33,7 +33,7 @@ from .artifact import trial_summary
 from .budget import QUICK_EFFORT
 from .params import Param, spec
 from .registry import CellPlan, Experiment, register
-from .seeding import derive_key
+from ..seeding import derive_key
 
 #: Paper's drop-out threshold for Table I (re-exported via the engine).
 DROPOUT_THRESHOLD: int = 1_000_000
@@ -335,7 +335,7 @@ _FULL_KEY_SPEC = spec(
     Param("probing_round", "int", 1, "cache probing round"),
     Param("use_flush", "bool", True, "mid-encryption flush"),
     Param("probe_strategy", "str", "flush_reload", "probing primitive",
-          choices=("flush_reload", "prime_probe")),
+          choices=("flush_reload", "prime_probe", "flush_flush")),
     Param("max_encryptions_per_segment", "int", 100_000,
           "per-segment convergence budget"),
     Param("max_total_encryptions", "int", 0,

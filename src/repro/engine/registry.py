@@ -96,7 +96,7 @@ def _ensure_builtins() -> None:
     # first lookup so repro.core can import repro.engine.seeding without
     # pulling the experiment definitions (which import repro.core) back
     # in at module-import time.
-    from . import ablations, experiments, robustness  # noqa: F401
+    from . import ablations, comparison, experiments, robustness  # noqa: F401
 
 
 def get(name: str) -> Experiment:

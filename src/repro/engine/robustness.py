@@ -34,14 +34,14 @@ from ..core.errors import (
     KeyVerificationFailed,
     LowConfidenceError,
 )
-from ..core.noise import LossyChannel
+from ..channel import LossyChannel
 from ..core.profile import PROFILE_64
 from ..gift.lut import TracedGift64
 from ..staticcheck import declassify
 from .artifact import confidence_summary, trial_summary
 from .params import Param, spec
 from .registry import CellPlan, Experiment, register
-from .seeding import derive_key
+from ..seeding import derive_key
 
 _ROBUSTNESS_SPEC = spec(
     Param("miss_probabilities", "float_list", (0.0, 0.1, 0.2),

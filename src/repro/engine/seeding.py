@@ -1,92 +1,25 @@
-"""The project's single seed-derivation rule.
+"""Seed derivation — thin alias of :mod:`repro.seeding`.
 
-Every random choice in the reproduction — victim keys, attacker
-plaintext crafting, co-runner noise, Monte-Carlo trial streams — is
-derived here, from one documented scheme:
-
-``derive_seed(*parts)`` canonicalises its arguments (strings, numbers,
-``None``, booleans, and nested lists/tuples/dicts of those), joins them
-with an unprintable separator, and takes the first 8 bytes of the
-SHA-256 digest as a 63-bit integer.  Properties the experiments rely on:
-
-* **Deterministic** — the same parts always give the same seed, on any
-  platform and Python version (no ``hash()`` randomisation, no OS
-  entropy).  ``None`` is a valid part and canonicalises like any other
-  value, so a "no seed supplied" run is reproducible too; there is no
-  fall-back to nondeterministic seeding anywhere.
-* **Scoped** — a leading label string (``"victim-key"``,
-  ``"runner-noise"``, ``"trial"``, ...) keeps independent consumers of
-  the same user-facing seed statistically independent, replacing the
-  magic XOR constants (``seed ^ 0xA77AC4`` and friends) that used to be
-  sprinkled across the CLI and benchmarks.
-* **Execution-order independent** — per-trial seeds depend only on the
-  experiment name, the canonical parameters, the cell, and the trial
-  index, never on which worker process runs the trial or in what order,
-  which is what makes ``--workers N`` bit-identical to ``--workers 1``.
+The implementation moved to the package top level so low-level layers
+(:mod:`repro.channel`) can derive their RNG streams without importing
+the experiment engine.  This module remains the engine-facing name and
+re-exports the full API unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import random
-from typing import Any
+from ..seeding import (
+    canonical,
+    derive_key,
+    derive_rng,
+    derive_seed,
+    trial_seed,
+)
 
-#: Separator between canonicalised parts (cannot appear in JSON output).
-_SEP = "\x1f"
-
-
-def canonical(value: Any) -> str:
-    """Canonical string form of a seed part / parameter value.
-
-    Dict keys are sorted, so two parameter mappings that compare equal
-    canonicalise identically regardless of insertion order.  Tuples are
-    canonicalised as lists.
-    """
-    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
-
-
-def _jsonable(value: Any) -> Any:
-    if isinstance(value, tuple):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, list):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise TypeError(
-        f"seed parts must be JSON-like primitives/containers, "
-        f"got {type(value).__name__}"
-    )
-
-
-def derive_seed(*parts: Any) -> int:
-    """Derive a 63-bit seed from the canonicalised ``parts``."""
-    if not parts:
-        raise ValueError("derive_seed needs at least one part")
-    data = _SEP.join(canonical(part) for part in parts).encode("utf-8")
-    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big") >> 1
-
-
-def derive_rng(*parts: Any) -> random.Random:
-    """A :class:`random.Random` seeded by :func:`derive_seed`."""
-    return random.Random(derive_seed(*parts))
-
-
-def derive_key(bits: int, *parts: Any) -> int:
-    """Derive a ``bits``-wide victim key from a scope + seed.
-
-    Used everywhere a victim master key is planted (CLI, experiments,
-    benchmarks, examples), replacing ad-hoc
-    ``random.Random(seed ^ CONST).getrandbits(128)`` recipes.
-    """
-    if bits < 1:
-        raise ValueError(f"bits must be positive, got {bits}")
-    return derive_rng("victim-key", bits, *parts).getrandbits(bits)
-
-
-def trial_seed(experiment: str, params: Any, cell: Any,
-               trial_index: int) -> int:
-    """The engine's per-trial seed: worker-count and order independent."""
-    return derive_seed("trial", experiment, params, cell, trial_index)
+__all__ = [
+    "canonical",
+    "derive_key",
+    "derive_rng",
+    "derive_seed",
+    "trial_seed",
+]

@@ -1,0 +1,139 @@
+"""Import-layering check for the observation-channel stack.
+
+The :mod:`repro.channel` package is a strict four-layer architecture
+(see ``docs/architecture.md``):
+
+====  ======================  =================================
+L1    ``channel.primitive``   how residency is read
+L2    ``channel.transport``   which substrate probe & victim share
+L3    ``channel.degradation`` loss/jitter decorators
+L4    ``channel.observer``    the one public observation API
+====  ======================  =================================
+
+with ``channel.monitor`` below L1 (pure address bookkeeping) and the
+package ``__init__`` above L4 (re-exports only).  Two rules keep the
+stack acyclic and the layers substitutable:
+
+1. **Intra-package**: a channel module may import only *strictly
+   lower* layers — ``primitive`` must not know about ``transport``
+   (it sees substrates through the ``ProbeSurface`` protocol),
+   ``transport`` must not know about degradations, and nothing but
+   the observer composes the stack.
+2. **Inter-package**: :mod:`repro.channel` must not import
+   :mod:`repro.core` or :mod:`repro.engine` (both *consume* the
+   channel; an upward import would recreate the circular
+   runner/attack coupling the refactor removed).
+
+The check is a small AST walk (the repo deliberately has no
+import-linter dependency) and runs in CI and the test suite:
+
+    python -m repro.staticcheck.layering
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+#: Layer index of every module inside ``repro.channel``.  A module may
+#: import only modules with a strictly smaller index.
+CHANNEL_LAYERS = {
+    "monitor": 0,
+    "primitive": 1,
+    "transport": 2,
+    "degradation": 3,
+    "observer": 4,
+    "__init__": 5,
+}
+
+#: Packages the channel may never import (they consume the channel).
+FORBIDDEN_PREFIXES = ("repro.core", "repro.engine")
+
+
+def _channel_module(node: ast.AST, importer: str,
+                    package_depth: int) -> Iterable[Tuple[str, int]]:
+    """Yield ``(module_name, lineno)`` of imports resolved to
+    ``repro.channel`` submodules or to forbidden packages."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name, node.lineno
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            module = node.module or ""
+        else:
+            # Resolve the relative import against repro.channel.<mod>:
+            # level 1 is the channel package itself, level 2 is repro.
+            parts = ["repro", "channel"][: package_depth + 1 - node.level]
+            if node.module:
+                parts.append(node.module)
+            module = ".".join(parts)
+        yield module, node.lineno
+        # ``from repro.channel import observer``-style imports name the
+        # submodule in the alias list, not the module path.
+        if module == "repro.channel":
+            for alias in node.names:
+                if alias.name in CHANNEL_LAYERS:
+                    yield f"repro.channel.{alias.name}", node.lineno
+
+
+def check_channel_layering(channel_dir: Optional[Path] = None) -> List[str]:
+    """Return a list of layering violations (empty = compliant)."""
+    if channel_dir is None:
+        channel_dir = Path(__file__).resolve().parent.parent / "channel"
+    if not channel_dir.is_dir():
+        return [f"channel package not found at {channel_dir}"]
+    violations: List[str] = []
+    for path in sorted(channel_dir.glob("*.py")):
+        module = path.stem
+        layer = CHANNEL_LAYERS.get(module)
+        if layer is None:
+            violations.append(
+                f"{path}: module {module!r} has no assigned layer; "
+                f"add it to CHANNEL_LAYERS with an explicit position"
+            )
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            for imported, lineno in _channel_module(node, module, 2):
+                for prefix in FORBIDDEN_PREFIXES:
+                    if imported == prefix or \
+                            imported.startswith(prefix + "."):
+                        violations.append(
+                            f"{path}:{lineno}: repro.channel.{module} "
+                            f"imports {imported} — the channel must not "
+                            f"import its consumers"
+                        )
+                if imported.startswith("repro.channel."):
+                    target = imported.split(".")[2]
+                    target_layer = CHANNEL_LAYERS.get(target)
+                    if target_layer is None:
+                        continue
+                    if target_layer >= layer:
+                        violations.append(
+                            f"{path}:{lineno}: L{layer} module "
+                            f"repro.channel.{module} imports "
+                            f"L{target_layer} module {imported} — layers "
+                            f"may only import strictly downward"
+                        )
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: print violations, exit 1 if any."""
+    violations = check_channel_layering(
+        Path(argv[0]) if argv else None
+    )
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print("channel layering OK "
+          f"({len(CHANNEL_LAYERS)} modules, L1 -> L4 acyclic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

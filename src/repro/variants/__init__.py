@@ -1,7 +1,7 @@
 """Non-access-driven attack variants from the paper's taxonomy
 (Section I): trace-driven and time-driven realisations of GRINCH."""
 
-from .observations import (
+from ..channel.observer import (
     WindowObservation,
     encryption_latency,
     hit_miss_trace,

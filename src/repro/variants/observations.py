@@ -1,100 +1,36 @@
-"""Observation channels for the non-access-driven attack variants.
+"""Deprecated location of the window-observation helpers.
 
-The GRINCH paper's introduction classifies cache attacks into three
-families (Section I): access-driven (the paper's contribution, in
-:mod:`repro.core`), *time-driven* — the attacker only sees how long an
-encryption took [Bernstein 2005] — and *trace-driven* — the attacker
-sees the victim's own hit/miss sequence, e.g. through power analysis
-[Acıiçmez & Koç 2006], which Section III-D suggests as a fallback when
-cache probing is infeasible.
-
-This module produces both signals from the simulated substrate:
-
-* :func:`hit_miss_trace` — the per-access hit/miss sequence of the
-  S-box loads in the attacker's window (trace-driven channel);
-* :func:`encryption_latency` — the total cycle count of the window
-  through the timed memory hierarchy (time-driven channel).
-
-Both start from a cold monitored region, as after a preceding
-Flush+Reload-style eviction or a context switch.
+The trace-/time-driven signal extraction moved into the layered
+observation-channel stack; import :class:`WindowObservation`,
+:func:`observe_window`, :func:`hit_miss_trace` and
+:func:`encryption_latency` from :mod:`repro.channel` (or call
+:meth:`repro.channel.ObservationChannel.window` /
+:meth:`~repro.channel.ObservationChannel.hit_miss` /
+:meth:`~repro.channel.ObservationChannel.timing` on a channel).
+See ``docs/architecture.md`` for the migration map.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+import warnings
 
-from ..cache.geometry import CacheGeometry
-from ..cache.hierarchy import MemoryLatencies
-from ..cache.setassoc import SetAssociativeCache
-from ..gift.lut import TracedGiftCipher
+from ..channel.observer import (
+    WindowObservation,
+    encryption_latency,
+    hit_miss_trace,
+    observe_window,
+)
 
+warnings.warn(
+    "repro.variants.observations is deprecated; import the window "
+    "observation helpers from repro.channel instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass(frozen=True)
-class WindowObservation:
-    """One encryption's observable signals in the attack window."""
-
-    hit_miss: Tuple[bool, ...]
-    latency_cycles: int
-    accesses: int
-
-    @property
-    def misses(self) -> int:
-        """Number of misses in the window (distinct lines touched)."""
-        return sum(1 for hit in self.hit_miss if not hit)
-
-
-def observe_window(victim: TracedGiftCipher, plaintext: int,
-                   geometry: CacheGeometry,
-                   first_round: int, last_round: int,
-                   latencies: MemoryLatencies = MemoryLatencies()
-                   ) -> WindowObservation:
-    """Run one encryption and collect both side-channel signals.
-
-    Only the S-box loads of rounds ``first_round..last_round`` are
-    observed (the PermBits table lives in its own region and, for the
-    variants' purposes, contributes a constant offset).  The cache
-    starts cold, as after a flush.
-    """
-    if first_round > last_round:
-        raise ValueError(
-            f"empty round window [{first_round}, {last_round}]"
-        )
-    trace = victim.encrypt_traced(plaintext, max_rounds=last_round)
-    cache = SetAssociativeCache(geometry)
-    hit_miss: List[bool] = []
-    latency = 0
-    for access in trace.accesses:
-        if access.table != "sbox":
-            continue
-        if not first_round <= access.round_index <= last_round:
-            continue
-        hit = cache.access(access.address)
-        hit_miss.append(hit)
-        latency += (latencies.l1_hit_cycles if hit
-                    else latencies.l1_miss_cycles)
-    return WindowObservation(
-        hit_miss=tuple(hit_miss),
-        latency_cycles=latency,
-        accesses=len(hit_miss),
-    )
-
-
-def hit_miss_trace(victim: TracedGiftCipher, plaintext: int,
-                   geometry: CacheGeometry,
-                   first_round: int, last_round: int) -> Tuple[bool, ...]:
-    """Trace-driven channel: the window's hit/miss sequence."""
-    return observe_window(
-        victim, plaintext, geometry, first_round, last_round
-    ).hit_miss
-
-
-def encryption_latency(victim: TracedGiftCipher, plaintext: int,
-                       geometry: CacheGeometry,
-                       first_round: int, last_round: int,
-                       latencies: MemoryLatencies = MemoryLatencies()
-                       ) -> int:
-    """Time-driven channel: the window's total data-access latency."""
-    return observe_window(
-        victim, plaintext, geometry, first_round, last_round, latencies
-    ).latency_cycles
+__all__ = [
+    "WindowObservation",
+    "encryption_latency",
+    "hit_miss_trace",
+    "observe_window",
+]

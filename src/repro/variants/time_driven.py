@@ -23,19 +23,19 @@ of the taxonomy: less observation, more encryptions.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..cache.geometry import CacheGeometry
 from ..cache.hierarchy import MemoryLatencies
+from ..channel import ObservationChannel
+from ..core.config import AttackConfig
 from ..core.crafting import PlaintextCrafter
-from ..core.monitor import SboxMonitor
 from ..core.profile import profile_for_width
 from ..core.recover import KeyBitPair, key_pairs_from_line
 from ..core.target_bits import set_target_bits
 from ..gift.lut import TracedGiftCipher
-from .observations import observe_window
+from ..seeding import derive_rng
 
 
 @dataclass(frozen=True)
@@ -82,8 +82,20 @@ class TimeDrivenAttack:
         self.geometry = geometry if geometry is not None else CacheGeometry()
         self.latencies = latencies
         self.profile = profile_for_width(victim.width)
-        self.monitor = SboxMonitor.build(victim.layout, self.geometry)
-        self.rng = random.Random(seed)
+        # The variant consumes the same L4 observer API as the
+        # access-driven attack — only the signal differs (timing()
+        # instead of observe()).
+        self.channel = ObservationChannel(
+            victim,
+            AttackConfig(geometry=self.geometry, layout=victim.layout,
+                         seed=seed),
+            rng_scope="time-driven",
+        )
+        self.monitor = self.channel.monitor
+        # Crafting stream, scope-derived like every RNG in the tree
+        # (a bare random.Random(seed) would not be reproducible for
+        # seed=None and would correlate with other consumers).
+        self.rng = derive_rng("time-driven-crafting", seed)
         self.total_encryptions = 0
         if self.latencies.l1_miss_cycles <= self.latencies.l1_hit_cycles:
             raise ValueError(
@@ -117,9 +129,9 @@ class TimeDrivenAttack:
 
         for _ in range(samples):
             plaintext = crafter.craft()
-            observation = observe_window(
-                self.victim, plaintext, self.geometry,
-                first_round=1, last_round=2, latencies=self.latencies,
+            observation = self.channel.window(
+                plaintext, first_round=1, last_round=2,
+                latencies=self.latencies,
             )
             self.total_encryptions += 1
             misses = self._misses_from_latency(

@@ -26,19 +26,19 @@ the role of the probe.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from ..cache.geometry import CacheGeometry
+from ..channel import ObservationChannel
+from ..core.config import AttackConfig
 from ..core.crafting import PlaintextCrafter
 from ..core.errors import BudgetExceeded
-from ..core.monitor import SboxMonitor
 from ..core.profile import profile_for_width
 from ..core.recover import KeyBitPair, key_pairs_from_line
 from ..core.target_bits import set_target_bits
 from ..gift.lut import TracedGiftCipher
-from .observations import observe_window
+from ..seeding import derive_rng
 
 
 @dataclass(frozen=True)
@@ -68,8 +68,16 @@ class TraceDrivenAttack:
         self.victim = victim
         self.geometry = geometry if geometry is not None else CacheGeometry()
         self.profile = profile_for_width(victim.width)
-        self.monitor = SboxMonitor.build(victim.layout, self.geometry)
-        self.rng = random.Random(seed)
+        # Same L4 observer API as the access-driven attack; this
+        # variant reads the hit_miss() signal instead of observe().
+        self.channel = ObservationChannel(
+            victim,
+            AttackConfig(geometry=self.geometry, layout=victim.layout,
+                         seed=seed),
+            rng_scope="trace-driven",
+        )
+        self.monitor = self.channel.monitor
+        self.rng = derive_rng("trace-driven-crafting", seed)
         self.max_encryptions_per_segment = max_encryptions_per_segment
         self.total_encryptions = 0
 
@@ -92,9 +100,8 @@ class TraceDrivenAttack:
 
         for used in range(1, self.max_encryptions_per_segment + 1):
             plaintext = crafter.craft()
-            observation = observe_window(
-                self.victim, plaintext, self.geometry,
-                first_round=1, last_round=2,
+            observation = self.channel.window(
+                plaintext, first_round=1, last_round=2,
             )
             self.total_encryptions += 1
             if observation.hit_miss[target_position]:

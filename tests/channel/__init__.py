@@ -1,0 +1,1 @@
+"""Tests of the layered observation-channel stack."""

@@ -1,0 +1,68 @@
+"""Architecture tests: import layering and RNG discipline.
+
+These are the grep-style regression guards of the refactor: the layer
+rules of ``docs/architecture.md`` and the derive_rng seeding discipline
+hold for the *current source tree*, not just the modules some test
+happens to import.
+"""
+
+import re
+from pathlib import Path
+
+from repro.staticcheck.layering import (
+    CHANNEL_LAYERS,
+    check_channel_layering,
+)
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+
+class TestChannelLayering:
+    def test_channel_package_is_compliant(self):
+        assert check_channel_layering() == []
+
+    def test_every_channel_module_has_a_layer(self):
+        modules = {p.stem for p in (SRC / "channel").glob("*.py")}
+        assert modules == set(CHANNEL_LAYERS)
+
+    def test_upward_import_is_detected(self, tmp_path):
+        """The checker must actually catch violations, not just pass."""
+        (tmp_path / "primitive.py").write_text(
+            "from .transport import CacheTransport\n"
+        )
+        (tmp_path / "transport.py").write_text("")
+        violations = check_channel_layering(tmp_path)
+        assert len(violations) == 1
+        assert "strictly downward" in violations[0]
+
+    def test_consumer_import_is_detected(self, tmp_path):
+        (tmp_path / "observer.py").write_text(
+            "from repro.core.attack import GrinchAttack\n"
+        )
+        violations = check_channel_layering(tmp_path)
+        assert len(violations) == 1
+        assert "must not import its consumers" in violations[0]
+
+    def test_unknown_module_is_flagged(self, tmp_path):
+        (tmp_path / "sidechannel.py").write_text("")
+        violations = check_channel_layering(tmp_path)
+        assert any("no assigned layer" in v for v in violations)
+
+
+class TestRngDiscipline:
+    def test_only_the_seeding_module_constructs_raw_rngs(self):
+        """Every RNG in the tree must come from derive_rng with a scope
+        label; a bare ``random.Random(seed)`` anywhere else silently
+        correlates streams across consumers (the bug the time-/trace-
+        driven variants shipped with)."""
+        offenders = []
+        pattern = re.compile(r"random\.Random\(")
+        for path in sorted(SRC.rglob("*.py")):
+            if path == SRC / "seeding.py":
+                continue  # the one place allowed to construct RNGs
+            for number, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                code = line.split("#", 1)[0]
+                if pattern.search(code):
+                    offenders.append(f"{path}:{number}: {line.strip()}")
+        assert offenders == []

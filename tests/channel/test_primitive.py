@@ -1,0 +1,152 @@
+"""L1 tests: probe primitives against a bare cache surface."""
+
+import random
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.channel import (
+    FlushFlush,
+    FlushReload,
+    PrimeProbe,
+    SboxMonitor,
+    make_primitive,
+)
+from repro.channel.primitive import PRIMITIVE_NAMES
+from repro.gift.lut import TableLayout
+
+
+@pytest.fixture
+def monitor():
+    return SboxMonitor.build(TableLayout(), CacheGeometry())
+
+
+@pytest.fixture
+def cache():
+    return SetAssociativeCache(CacheGeometry())
+
+
+class TestFactory:
+    def test_all_names_construct(self, monitor):
+        for name in PRIMITIVE_NAMES:
+            primitive = make_primitive(name, monitor)
+            assert primitive.name == name
+
+    def test_unknown_name_rejected(self, monitor):
+        with pytest.raises(ValueError, match="unknown probe strategy"):
+            make_primitive("evict_reload", monitor)
+
+    def test_capability_flags(self, monitor):
+        fr = make_primitive("flush_reload", monitor)
+        pp = make_primitive("prime_probe", monitor)
+        ff = make_primitive("flush_flush", monitor)
+        assert fr.flush_based and fr.line_granular and fr.supports_mid_flush
+        assert not (pp.flush_based or pp.line_granular
+                    or pp.supports_mid_flush)
+        assert ff.flush_based and ff.line_granular and ff.supports_mid_flush
+
+
+class TestFlushReload:
+    def test_reads_exactly_the_touched_lines(self, monitor, cache):
+        primitive = FlushReload(monitor)
+        primitive.reset(cache)
+        touched = monitor.line_addresses()[:3]
+        for address in touched:
+            cache.access(address)
+        observed = primitive.observe(cache)
+        expected = {monitor.geometry.line_of(a) for a in touched}
+        assert observed == frozenset(expected)
+
+    def test_observe_is_perturbing(self, monitor, cache):
+        """The reload loads every monitored line — a second observe
+        without reset sees everything (why the runner resets per window)."""
+        primitive = FlushReload(monitor)
+        primitive.reset(cache)
+        primitive.observe(cache)
+        assert primitive.observe(cache) == frozenset(monitor.lines)
+
+
+class TestPrimeProbe:
+    def test_detects_victim_evictions_set_granularly(self, monitor):
+        tiny = CacheGeometry(total_lines=16, ways=2, line_words=1)
+        small_monitor = SboxMonitor.build(TableLayout(), tiny)
+        cache = SetAssociativeCache(tiny)
+        primitive = PrimeProbe(small_monitor)
+        primitive.reset(cache)
+        victim_address = small_monitor.line_addresses()[0]
+        cache.access(victim_address)
+        observed = primitive.observe(cache)
+        target_set = tiny.set_of(victim_address)
+        expected = {
+            line for line, address in zip(small_monitor.lines,
+                                          small_monitor.line_addresses())
+            if tiny.set_of(address) == target_set
+        }
+        assert observed == frozenset(expected)
+
+    def test_quiet_victim_yields_empty_observation(self, monitor, cache):
+        primitive = PrimeProbe(monitor)
+        primitive.reset(cache)
+        assert primitive.observe(cache) == frozenset()
+
+
+class TestFlushFlush:
+    def test_flush_is_the_probe(self, monitor, cache):
+        primitive = FlushFlush(monitor)
+        primitive.reset(cache)
+        touched = monitor.line_addresses()[:4]
+        for address in touched:
+            cache.access(address)
+        observed = primitive.observe(cache)
+        assert observed == frozenset(
+            monitor.geometry.line_of(a) for a in touched
+        )
+        # ...and the probe reset the lines: nothing remains resident.
+        assert primitive.observe(cache) == frozenset()
+
+    def test_perfect_readout_by_default(self, monitor):
+        primitive = FlushFlush(monitor)
+        assert primitive.signal_reliability == 1.0
+        lines = frozenset(monitor.lines)
+        assert primitive.filter_observation(lines) == lines
+
+    def test_noisy_readout_requires_rng(self, monitor):
+        with pytest.raises(ValueError, match="RNG stream"):
+            FlushFlush(monitor, signal_miss_probability=0.1)
+
+    def test_miss_probability_validated(self, monitor):
+        with pytest.raises(ValueError, match="signal_miss_probability"):
+            FlushFlush(monitor, signal_miss_probability=1.0,
+                       rng=random.Random(0))
+
+    def test_set_profile_scales_per_line(self, monitor):
+        primitive = FlushFlush(monitor, signal_miss_probability=0.1,
+                               rng=random.Random(0))
+        profile = FlushFlush.SET_WEIGHT_PROFILE
+        geometry = monitor.geometry
+        for line, address in zip(monitor.lines, monitor.line_addresses()):
+            weight = profile[geometry.set_of(address) % len(profile)]
+            assert primitive._miss_by_line[line] == \
+                pytest.approx(min(1.0, 0.1 * weight))
+        assert primitive.signal_reliability == pytest.approx(
+            1.0 - sum(primitive._miss_by_line.values())
+            / len(primitive._miss_by_line)
+        )
+
+    def test_filter_drops_lines_deterministically(self, monitor):
+        a = FlushFlush(monitor, signal_miss_probability=0.5,
+                       rng=random.Random(1234))
+        b = FlushFlush(monitor, signal_miss_probability=0.5,
+                       rng=random.Random(1234))
+        lines = frozenset(monitor.lines)
+        filtered = a.filter_observation(lines)
+        assert filtered == b.filter_observation(lines)
+        assert filtered < lines  # p=0.5 over 16 lines: loss is certain
+
+    def test_filtered_observation_is_a_subset(self, monitor):
+        primitive = FlushFlush(monitor, signal_miss_probability=0.3,
+                               rng=random.Random(7))
+        lines = frozenset(monitor.lines)
+        for _ in range(20):
+            assert primitive.filter_observation(lines) <= lines

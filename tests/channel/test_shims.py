@@ -1,0 +1,80 @@
+"""Deprecation-shim tests: the pre-refactor import surface must keep
+working for one release cycle, warning loudly."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+SHIMS = {
+    "repro.core.probe": ("make_probe", "ProbeStrategy", "FlushReload",
+                         "PrimeProbe", "FlushFlush"),
+    "repro.core.noise": ("NoiseModel", "LossyChannel", "ProbeJitter",
+                         "LOSSLESS", "NO_NOISE", "NO_JITTER"),
+    "repro.core.monitor": ("SboxMonitor",),
+    "repro.core.runner": ("CacheAttackRunner",),
+    "repro.variants.observations": ("WindowObservation", "observe_window",
+                                    "hit_miss_trace", "encryption_latency"),
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SHIMS))
+def test_shim_imports_and_warns(module_name):
+    """A fresh import of each legacy module emits DeprecationWarning and
+    still exposes its historic names."""
+    sys.modules.pop(module_name, None)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        module = importlib.import_module(module_name)
+    for name in SHIMS[module_name]:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_legacy_names_are_the_new_objects():
+    """The shims re-export, not re-implement: identity must hold so
+    isinstance checks across old and new import paths agree."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.channel import (
+            ObservationChannel,
+            SboxMonitor as NewMonitor,
+            make_primitive,
+        )
+        from repro.core.monitor import SboxMonitor as OldMonitor
+        from repro.core.probe import make_probe
+        from repro.core.runner import CacheAttackRunner
+    assert OldMonitor is NewMonitor
+    assert make_probe is make_primitive
+    assert CacheAttackRunner is ObservationChannel
+
+
+def test_make_probe_builds_working_primitives(victim):
+    """The acceptance-criterion shim path: ``from repro.core.probe
+    import make_probe`` must still build usable primitives."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.core.probe import make_probe
+    from repro.cache.geometry import CacheGeometry
+    from repro.cache.setassoc import SetAssociativeCache
+    from repro.channel import SboxMonitor
+
+    monitor = SboxMonitor.build(victim.layout, CacheGeometry())
+    probe = make_probe("flush_reload", monitor)
+    cache = SetAssociativeCache(CacheGeometry())
+    probe.reset(cache)
+    assert probe.observe(cache) == frozenset()
+
+
+def test_normal_import_path_is_warning_free():
+    """Importing the package, the attack, and the channel must not
+    touch any shim: users on the new API never see the warnings."""
+    shimmed = set(SHIMS)
+    for name in sorted(shimmed):
+        sys.modules.pop(name, None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        importlib.import_module("repro")
+        importlib.import_module("repro.channel")
+        importlib.import_module("repro.core.attack")
+        importlib.import_module("repro.variants")
+        importlib.import_module("repro.engine")

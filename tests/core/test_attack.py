@@ -8,7 +8,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.core.attack import FULL_KEY_ROUNDS, GrinchAttack, recover_full_key
 from repro.core.config import AttackConfig
 from repro.core.errors import BudgetExceeded
-from repro.core.noise import NoiseModel
+from repro.channel import NoiseModel
 from repro.gift.keyschedule import round_keys
 from repro.gift.lut import TableLayout, TracedGift64
 

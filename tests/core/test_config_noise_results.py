@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.config import AttackConfig
-from repro.core.noise import NO_NOISE, NoiseModel
+from repro.channel import NO_NOISE, NoiseModel
 from repro.core.results import (
     RoundKeyEstimate,
     SegmentOutcome,

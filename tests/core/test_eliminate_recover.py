@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.eliminate import CandidateEliminator
-from repro.core.monitor import SboxMonitor
+from repro.channel import SboxMonitor
 from repro.core.recover import (
     expected_index,
     indices_consistent_with_prediction,

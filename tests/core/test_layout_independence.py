@@ -7,7 +7,7 @@ import pytest
 from repro.cache.geometry import CacheGeometry
 from repro.core.attack import GrinchAttack
 from repro.core.config import AttackConfig
-from repro.core.monitor import SboxMonitor
+from repro.channel import SboxMonitor
 from repro.gift.lut import TableLayout, TracedGift64
 
 

@@ -4,8 +4,8 @@ import pytest
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.setassoc import SetAssociativeCache
-from repro.core.monitor import SboxMonitor
-from repro.core.probe import FlushReload, PrimeProbe, make_probe
+from repro.channel import SboxMonitor
+from repro.channel import FlushReload, PrimeProbe, make_primitive as make_probe
 from repro.gift.lut import TableLayout
 
 

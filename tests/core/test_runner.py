@@ -6,8 +6,8 @@ import pytest
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.config import AttackConfig
-from repro.core.noise import NoiseModel
-from repro.core.runner import CacheAttackRunner
+from repro.channel import NoiseModel
+from repro.channel import ObservationChannel as CacheAttackRunner
 from repro.gift.lut import TracedGift64
 
 
