@@ -238,6 +238,12 @@ def test_traced_gift64_encrypt_benchmark(benchmark):
     benchmark(lambda: victim.encrypt_traced(0xFEDCBA9876543210))
 
 
+def test_untraced_gift64_encrypt_benchmark(benchmark):
+    """The trace-free fast path every trace-discarding call site uses."""
+    victim = TracedGift64(0x0123456789ABCDEF0123456789ABCDEF)
+    benchmark(lambda: victim.encrypt(0xFEDCBA9876543210))
+
+
 def test_fast_indices_benchmark(benchmark):
     """The attack's hot path: per-round S-box indices for 2 rounds."""
     victim = TracedGift64(0x0123456789ABCDEF0123456789ABCDEF)

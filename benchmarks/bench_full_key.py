@@ -9,6 +9,7 @@ from repro.analysis import render_series, run_full_key
 from repro.core import AttackConfig, recover_full_key
 from repro.engine import derive_key
 from repro.gift import TracedGift64
+from repro.perf import MIN_UNTRACED_OVER_TRACED, run_suite
 
 
 def test_full_key_effort_regeneration(publish):
@@ -35,3 +36,21 @@ def test_full_key_recovery_benchmark(benchmark):
         lambda: recover_full_key(victim, AttackConfig(seed=5))
     )
     assert result.master_key == key
+
+
+def test_cipher_fast_path_ratio_regeneration(publish):
+    """The recovery above leans on the trace-free ``encrypt()`` for
+    every discarded trace; regenerate its speedup over the traced path
+    and hold it to the perf suite's gate."""
+    report = run_suite(quick=True, seed=3, min_seconds=0.05)
+    ratio = report.ratios["gift64_untraced_over_traced"]
+    text = render_series(
+        "Cipher fast path — untraced vs. traced GIFT-64 encrypt",
+        ["untraced enc/s", "traced enc/s", "speedup (x)"],
+        [report.result("gift64_encrypt_untraced").ops_per_s,
+         report.result("gift64_encrypt_traced").ops_per_s,
+         ratio],
+    )
+    publish("cipher_fast_path", text)
+
+    assert ratio >= MIN_UNTRACED_OVER_TRACED

@@ -11,6 +11,7 @@ Exposes the headline attack and the unified experiment engine:
    $ python -m repro run E9 --set levels=0.0:0,0.5:2 --no-cache
    $ python -m repro figure3            # legacy alias of `run figure3`
    $ python -m repro theory --line-words 4
+   $ python -m repro perf --quick --json
 
 ``run`` executes any registered experiment (E1–E14) through
 :mod:`repro.engine`: Monte-Carlo trials fan out over ``--workers``
@@ -132,6 +133,15 @@ def _build_parser() -> argparse.ArgumentParser:
     staticcheck.add_argument(
         "staticcheck_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m repro.staticcheck",
+    )
+
+    perf = commands.add_parser(
+        "perf",
+        help="microbenchmark the hot paths and gate on perf ratios",
+    )
+    perf.add_argument(
+        "perf_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.perf",
     )
     return parser
 
@@ -304,6 +314,12 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
     return staticcheck_main(args.staticcheck_args)
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf.cli import main as perf_main
+
+    return perf_main(args.perf_args)
+
+
 _HANDLERS = {
     "attack": _cmd_attack,
     "run": _cmd_run,
@@ -313,11 +329,17 @@ _HANDLERS = {
     "countermeasures": _cmd_countermeasures,
     "theory": _cmd_theory,
     "staticcheck": _cmd_staticcheck,
+    "perf": _cmd_perf,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["perf"]:
+        # argparse.REMAINDER refuses leading optionals (``perf --quick``),
+        # so hand the tail straight to the perf front-end.
+        return _cmd_perf(argparse.Namespace(perf_args=argv[1:]))
     args = _build_parser().parse_args(argv)
     return _HANDLERS[args.command](args)
 

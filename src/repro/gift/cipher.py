@@ -9,12 +9,18 @@ keys recovered by the attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from ..staticcheck.secrets import secret_params
 from .constants import constant_mask
-from .keyschedule import GiftKeyState, key_xor_state_bits
-from .permutation import permutation_for_width, permute
+from .keyschedule import key_xor_state_bits
+from .keyschedule import round_keys as schedule_round_keys
+from .permutation import (
+    inverse_permutation_for_width,
+    permutation_for_width,
+    permute,
+)
 from .sbox import GIFT_SBOX, GIFT_SBOX_INV
 
 
@@ -30,8 +36,15 @@ def sub_cells(state: int, width: int, inverse: bool = False) -> int:
 
 
 @secret_params("u", "v")
+@lru_cache(maxsize=65_536)
 def round_key_mask(u: int, v: int, width: int) -> int:
-    """Expand round-key halves ``U``/``V`` into a full-state XOR mask."""
+    """Expand round-key halves ``U``/``V`` into a full-state XOR mask.
+
+    Memoised: an attack evaluates the same few ``(U, V)`` pairs once
+    per round per encryption (cipher round loops, plaintext-crafting
+    inversion), so the bit-scatter loop below used to dominate hot
+    paths.  The cache is bounded; entries are three small ints each.
+    """
     u_positions, v_positions = key_xor_state_bits(width)
     mask = 0
     for bit, position in enumerate(u_positions):
@@ -74,6 +87,17 @@ class GiftCipher:
         self.master_key = master_key
         self._state_mask = (1 << width) - 1
         self._permutation = permutation_for_width(width)
+        self._inverse_permutation = inverse_permutation_for_width(width)
+        # Expanded once per key: the key schedule and the fused
+        # (round-key-mask XOR round-constant) injection masks.  The
+        # round loops used to re-derive both on every call.
+        self._round_keys: List[Tuple[int, int]] = schedule_round_keys(
+            master_key, rounds, width
+        )
+        self._inject_masks: Tuple[int, ...] = tuple(
+            round_key_mask(u, v, width) ^ constant_mask(round_index, width)
+            for round_index, (u, v) in enumerate(self._round_keys, start=1)
+        )
 
     def _check_block(self, block: int) -> None:
         if not 0 <= block <= self._state_mask:
@@ -83,33 +107,19 @@ class GiftCipher:
         """Encrypt one block."""
         self._check_block(plaintext)
         state = plaintext
-        key = GiftKeyState(self.master_key)
         for round_index in range(1, self.rounds + 1):
             state = sub_cells(state, self.width)
             state = permute(state, self._permutation)
-            u, v = key.round_key(self.width)
-            state = add_round_key(state, u, v, round_index, self.width)
-            key.update()
+            state ^= self._inject_masks[round_index - 1]
         return state
 
     def decrypt(self, ciphertext: int) -> int:
         """Decrypt one block."""
         self._check_block(ciphertext)
-        key = GiftKeyState(self.master_key)
-        keys = []
-        for round_index in range(1, self.rounds + 1):
-            keys.append(key.round_key(self.width))
-            key.update()
-
-        inverse_perm = [0] * self.width
-        for source, destination in enumerate(self._permutation):
-            inverse_perm[destination] = source
-
         state = ciphertext
         for round_index in range(self.rounds, 0, -1):
-            u, v = keys[round_index - 1]
-            state = add_round_key(state, u, v, round_index, self.width)
-            state = permute(state, tuple(inverse_perm))
+            state ^= self._inject_masks[round_index - 1]
+            state = permute(state, self._inverse_permutation)
             state = sub_cells(state, self.width, inverse=True)
         return state
 
@@ -127,14 +137,11 @@ class GiftCipher:
             raise ValueError(f"rounds must be in [1, {self.rounds}], got {rounds}")
         states = []
         state = plaintext
-        key = GiftKeyState(self.master_key)
         for round_index in range(1, limit + 1):
             before = state
             after_sub = sub_cells(state, self.width)
             after_perm = permute(after_sub, self._permutation)
-            u, v = key.round_key(self.width)
-            state = add_round_key(after_perm, u, v, round_index, self.width)
-            key.update()
+            state = after_perm ^ self._inject_masks[round_index - 1]
             states.append(
                 RoundState(
                     round_index=round_index,

@@ -91,6 +91,17 @@ def round_keys(master_key: int, rounds: int, width: int) -> List[Tuple[int, int]
     return keys
 
 
+#: ``key_xor_state_bits`` results per width — the positions are fixed by
+#: the specification, so rebuilding the tuples on every round-key-mask
+#: expansion was pure overhead.
+_KEY_XOR_STATE_BITS = {
+    64: (tuple(4 * i + 1 for i in range(16)),
+         tuple(4 * i for i in range(16))),
+    128: (tuple(4 * i + 2 for i in range(32)),
+          tuple(4 * i + 1 for i in range(32))),
+}
+
+
 def key_xor_state_bits(width: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
     """State bit positions receiving ``U`` and ``V`` round-key bits.
 
@@ -99,15 +110,12 @@ def key_xor_state_bits(width: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
     ``4i + 2``.  Returns ``(u_positions, v_positions)`` where entry ``i``
     is the state bit for round-key bit ``i``.
     """
-    if width == 64:
-        u_positions = tuple(4 * i + 1 for i in range(16))
-        v_positions = tuple(4 * i for i in range(16))
-    elif width == 128:
-        u_positions = tuple(4 * i + 2 for i in range(32))
-        v_positions = tuple(4 * i + 1 for i in range(32))
-    else:
-        raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
-    return u_positions, v_positions
+    try:
+        return _KEY_XOR_STATE_BITS[width]
+    except KeyError:
+        raise ValueError(
+            f"GIFT only defines 64- and 128-bit states, got {width}"
+        ) from None
 
 
 def master_key_bits_for_segment(round_index: int, segment: int, width: int = 64

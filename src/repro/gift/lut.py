@@ -20,12 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .cipher import add_round_key
+from .cipher import round_key_mask
+from .constants import constant_mask
 from .keyschedule import round_keys as standard_round_keys
 from ..staticcheck.secrets import secret_params
 from .permutation import inverse_permutation_for_width, permutation_for_width, permute
 from .sbox import GIFT_SBOX, GIFT_SBOX_INV
 from .trace import EncryptionTrace, MemoryAccess
+
+#: Widest PermBits scatter table any GIFT variant uses (GIFT-128 has 32
+#: segments); :class:`TableLayout` validates against this extent because
+#: the layout is width-agnostic.
+MAX_SEGMENTS: int = 32
 
 
 @dataclass(frozen=True)
@@ -47,9 +53,15 @@ class TableLayout:
             raise ValueError("table base addresses must be non-negative")
         if self.sbox_entry_bytes < 1 or self.perm_entry_bytes < 1:
             raise ValueError("table entry sizes must be positive")
+        # The layout does not know the cipher width, so the PermBits
+        # extent is checked at its 32-segment (GIFT-128) maximum; both
+        # orderings must be rejected or a perm table placed just below
+        # the S-box would silently alias PermBits loads onto S-box
+        # addresses and corrupt the observed index sets.
         sbox_end = self.sbox_base + 16 * self.sbox_entry_bytes
-        lo, hi = sorted([self.sbox_base, self.perm_base])
-        if lo == self.sbox_base and sbox_end > self.perm_base:
+        perm_end = (self.perm_base
+                    + 16 * MAX_SEGMENTS * self.perm_entry_bytes)
+        if self.sbox_base < perm_end and self.perm_base < sbox_end:
             raise ValueError("S-box and PermBits tables overlap")
 
     def sbox_address(self, index: int) -> int:
@@ -97,6 +109,21 @@ def _build_scatter_table(width: int) -> Tuple[Tuple[int, ...], ...]:
 _SCATTER_TABLES = {64: _build_scatter_table(64), 128: _build_scatter_table(128)}
 
 
+def _fuse_sbox_into_scatter(width: int) -> Tuple[Tuple[int, ...], ...]:
+    """Fuse SubCells into the scatter table: ``fused[seg][x]`` is the
+    scattered contribution of input nibble ``x`` at segment ``seg``,
+    i.e. ``scatter[seg][SBOX[x]]``.  One table load replaces the
+    S-box load + scatter load pair of the LUT round function."""
+    scatter = _SCATTER_TABLES[width]
+    return tuple(
+        tuple(row[GIFT_SBOX[x]] for x in range(16)) for row in scatter
+    )
+
+
+_FUSED_SBOX_SCATTER = {64: _fuse_sbox_into_scatter(64),
+                       128: _fuse_sbox_into_scatter(128)}
+
+
 @secret_params("state")
 def _sub_cells_inverse(state: int, width: int) -> int:
     result = 0
@@ -128,7 +155,28 @@ class TracedGiftCipher:
         self.layout = layout
         self._segments = width // 4
         self._scatter = _SCATTER_TABLES[width]
+        self._fused_sbox_scatter = _FUSED_SBOX_SCATTER[width]
+        # Hoisted once per instance: the inverse permutation (decrypt
+        # used to rebuild it per call) and the per-(index, segment)
+        # load-address tables the traced path re-derived per access.
+        self._inverse_permutation = inverse_permutation_for_width(width)
+        self._sbox_address_table: Tuple[int, ...] = tuple(
+            layout.sbox_addresses()
+        )
+        self._perm_address_table: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(layout.perm_address(segment, nibble, self._segments)
+                  for nibble in range(16))
+            for segment in range(self._segments)
+        )
         self._round_keys: List[Tuple[int, int]] = self.compute_round_keys()
+        # Fused per-round injection masks: AddRoundKey's (U, V) expansion
+        # XOR the round constant, folded into one full-state mask at key
+        # setup.  Built *after* compute_round_keys() so key-schedule-
+        # hardened subclasses feed their own keys in.
+        self._inject_masks: Tuple[int, ...] = tuple(
+            round_key_mask(u, v, width) ^ constant_mask(round_index, width)
+            for round_index, (u, v) in enumerate(self._round_keys, start=1)
+        )
 
     def compute_round_keys(self) -> List[Tuple[int, int]]:
         """Return the ``(U, V)`` round keys for all rounds.
@@ -139,8 +187,28 @@ class TracedGiftCipher:
         return standard_round_keys(self.master_key, self.rounds, self.width)
 
     def encrypt(self, plaintext: int) -> int:
-        """Encrypt one block (no tracing)."""
-        return self.encrypt_traced(plaintext).ciphertext
+        """Encrypt one block on the trace-free fast path.
+
+        Runs the same LUT round function as :meth:`encrypt_traced` —
+        one fused S-box/scatter load per segment, then the precomputed
+        ``(U, V, round-constant)`` injection mask — but never touches
+        :class:`~repro.gift.trace.EncryptionTrace` or allocates
+        :class:`~repro.gift.trace.MemoryAccess` records.  Proven
+        ciphertext-identical to the traced path by the official vectors
+        and the hypothesis sweeps in ``tests/gift/test_fast_path.py``.
+        """
+        if not 0 <= plaintext < (1 << self.width):
+            raise ValueError(f"block must be a {self.width}-bit integer")
+        state = plaintext
+        fused = self._fused_sbox_scatter
+        inject = self._inject_masks
+        segments = self._segments
+        for round_index in range(self.rounds):
+            permuted = 0
+            for segment in range(segments):
+                permuted |= fused[segment][(state >> (4 * segment)) & 0xF]
+            state = permuted ^ inject[round_index]
+        return state
 
     def decrypt(self, ciphertext: int) -> int:
         """Decrypt one block (not traced).
@@ -148,16 +216,17 @@ class TracedGiftCipher:
         GRINCH only ever observes encryptions, so no decryption address
         stream is modelled; the inverse rounds use the same round keys
         as :meth:`encrypt`, so key-schedule-hardened subclasses stay
-        self-consistent.
+        self-consistent.  The inverse permutation and the injection
+        masks are the instance-level precomputed ones, not per-call
+        rebuilds.
         """
         if not 0 <= ciphertext < (1 << self.width):
             raise ValueError(f"block must be a {self.width}-bit integer")
-        inverse_perm = inverse_permutation_for_width(self.width)
+        inverse_perm = self._inverse_permutation
+        inject = self._inject_masks
         state = ciphertext
         for round_index in range(self.rounds, 0, -1):
-            u, v = self._round_keys[round_index - 1]
-            state = add_round_key(state, u, v, round_index, self.width)
-            state = permute(state, inverse_perm)
+            state = permute(state ^ inject[round_index - 1], inverse_perm)
             state = _sub_cells_inverse(state, self.width)
         return state
 
@@ -183,8 +252,7 @@ class TracedGiftCipher:
         for round_index in range(1, limit + 1):
             state = self._sub_cells_traced(state, round_index, trace)
             state = self._perm_bits_traced(state, round_index, trace)
-            u, v = self._round_keys[round_index - 1]
-            state = add_round_key(state, u, v, round_index, self.width)
+            state ^= self._inject_masks[round_index - 1]
         trace.ciphertext = state
         return trace
 
@@ -204,8 +272,8 @@ class TracedGiftCipher:
             raise ValueError(f"max_rounds must be in [1, {self.rounds}]")
         indices_by_round: List[List[int]] = []
         state = plaintext
-        scatter = self._scatter
-        round_key_list = self._round_keys
+        fused = self._fused_sbox_scatter
+        inject = self._inject_masks
         for round_index in range(1, max_rounds + 1):
             indices = [
                 (state >> (4 * segment)) & 0xF
@@ -214,9 +282,8 @@ class TracedGiftCipher:
             indices_by_round.append(indices)
             permuted = 0
             for segment, index in enumerate(indices):
-                permuted |= scatter[segment][GIFT_SBOX[index]]
-            u, v = round_key_list[round_index - 1]
-            state = add_round_key(permuted, u, v, round_index, self.width)
+                permuted |= fused[segment][index]
+            state = permuted ^ inject[round_index - 1]
         return indices_by_round
 
     @secret_params("state")
@@ -225,11 +292,12 @@ class TracedGiftCipher:
         # The state is key-dependent from round 2 on; the S-box load
         # below is the secret-indexed access GRINCH observes.
         result = 0
+        addresses = self._sbox_address_table
         for segment in range(self._segments):
             index = (state >> (4 * segment)) & 0xF
             trace.append(
                 MemoryAccess(
-                    address=self.layout.sbox_address(index),
+                    address=addresses[index],
                     round_index=round_index,
                     segment=segment,
                     table="sbox",
@@ -243,13 +311,12 @@ class TracedGiftCipher:
     def _perm_bits_traced(self, state: int, round_index: int,
                           trace: EncryptionTrace) -> int:
         result = 0
+        addresses = self._perm_address_table
         for segment in range(self._segments):
             nibble = (state >> (4 * segment)) & 0xF
             trace.append(
                 MemoryAccess(
-                    address=self.layout.perm_address(
-                        segment, nibble, self._segments
-                    ),
+                    address=addresses[segment][nibble],
                     round_index=round_index,
                     segment=segment,
                     table="perm",

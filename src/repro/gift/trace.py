@@ -33,6 +33,10 @@ class MemoryAccess:
         Table index that was read; ground truth for tests only.
     """
 
+    # ~900 of these are built per traced GIFT-64 block; slots keep the
+    # per-record footprint down and skip the per-instance __dict__.
+    __slots__ = ("address", "round_index", "segment", "table", "index")
+
     address: int
     round_index: int
     segment: int

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.perf``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

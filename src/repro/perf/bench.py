@@ -1,0 +1,70 @@
+"""Calibrated microbenchmark timing core.
+
+No external dependencies (the container has no ``pyperf``): a callable
+is run in geometrically growing batches until the accumulated runtime
+crosses a floor, so per-call clock overhead is amortised for fast
+operations while slow operations (a whole engine trial) still finish
+after a single batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Union
+
+#: Largest batch one timing slice may run; bounds the overshoot past
+#: ``min_seconds`` for very fast callables.
+MAX_BATCH: int = 1 << 20
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's measurement: ``ops`` calls in ``seconds``."""
+
+    name: str
+    ops: int
+    seconds: float
+
+    @property
+    def ops_per_s(self) -> float:
+        """Throughput; the number every ratio gate is built from."""
+        if self.seconds <= 0.0:
+            # Degenerate clock resolution; report the ops as if they
+            # took one tick so ratios stay finite.
+            return float(self.ops)
+        return self.ops / self.seconds
+
+    def as_record(self) -> Dict[str, Union[str, int, float]]:
+        """JSON-ready form used by the ``BENCH_perf.json`` artifact."""
+        return {
+            "name": self.name,
+            "ops": self.ops,
+            "seconds": self.seconds,
+            "ops_per_s": self.ops_per_s,
+        }
+
+
+def measure(name: str, fn: Callable[[], object], *,
+            min_seconds: float = 0.25,
+            clock: Callable[[], float] = time.perf_counter) -> BenchResult:
+    """Time ``fn`` until at least ``min_seconds`` have accumulated.
+
+    One untimed warm-up call precedes measurement (first-call effects:
+    lazy imports, cache fills, bytecode specialisation).  Batches grow
+    geometrically so the loop's own bookkeeping stays negligible.
+    """
+    if min_seconds <= 0.0:
+        raise ValueError(f"min_seconds must be positive, got {min_seconds}")
+    fn()  # warm-up, untimed
+    ops = 0
+    elapsed = 0.0
+    batch = 1
+    while elapsed < min_seconds:
+        start = clock()
+        for _ in range(batch):
+            fn()
+        elapsed += clock() - start
+        ops += batch
+        batch = min(batch * 2, MAX_BATCH)
+    return BenchResult(name=name, ops=ops, seconds=elapsed)

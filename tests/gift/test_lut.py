@@ -119,6 +119,25 @@ class TestTableLayout:
         with pytest.raises(ValueError):
             TableLayout(sbox_base=0x2000 - 8, perm_base=0x2000)
 
+    def test_rejects_sbox_inside_perm_extent(self):
+        # Regression: validation used to be one-sided — an S-box base
+        # *above* the PermBits base slipped through even when it landed
+        # inside the PermBits table's extent.
+        with pytest.raises(ValueError):
+            TableLayout(sbox_base=0x2000 + 16, perm_base=0x2000)
+
+    def test_rejects_perm_base_inside_sbox(self):
+        with pytest.raises(ValueError):
+            TableLayout(sbox_base=0x2000, perm_base=0x2000 + 8)
+
+    def test_accepts_sbox_past_maximal_perm_extent(self):
+        # The perm extent is sized for the widest variant (32 segments
+        # of 8-byte entries); a base just past it is legal either way.
+        extent = 16 * 32 * 8
+        layout = TableLayout(sbox_base=0x2000 + extent, perm_base=0x2000)
+        assert layout.sbox_address(0) == 0x2000 + extent
+        TableLayout(sbox_base=0x2000, perm_base=0x2000 + 16)
+
     def test_rejects_negative_base(self):
         with pytest.raises(ValueError):
             TableLayout(sbox_base=-1)

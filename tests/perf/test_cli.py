@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro perf`` front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.perf.artifact import ARTIFACT_NAME, TRAJECTORY_NAME, SCHEMA_ID
+from repro.perf.cli import main as perf_main
+
+
+@pytest.fixture()
+def out_dir(tmp_path):
+    return tmp_path / "results"
+
+
+class TestPerfCli:
+    def test_quick_json_run(self, out_dir, capsys):
+        code = perf_main(["--quick", "--json", "--output", str(out_dir)])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == SCHEMA_ID
+        assert record["quick"] is True
+        assert record["gates"]["passed"] is True
+        assert (out_dir / ARTIFACT_NAME).exists()
+        assert (out_dir / TRAJECTORY_NAME).exists()
+
+    def test_second_run_picks_up_baseline(self, out_dir, capsys):
+        perf_main(["--quick", "--json", "--output", str(out_dir)])
+        capsys.readouterr()
+        perf_main(["--quick", "--json", "--output", str(out_dir)])
+        record = json.loads(capsys.readouterr().out)
+        assert record["gates"]["baseline_untraced_over_traced"] is not None
+        lines = (out_dir / TRAJECTORY_NAME).read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_ascii_rendering(self, out_dir, capsys):
+        code = perf_main(["--quick", "--output", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gift64_encrypt_untraced" in out
+        assert "PASS" in out
+
+    def test_no_artifact_writes_nothing(self, out_dir, capsys):
+        code = perf_main(["--quick", "--json", "--no-artifact",
+                          "--output", str(out_dir)])
+        assert code == 0
+        assert not out_dir.exists()
+
+    def test_profile_dump(self, tmp_path, capsys):
+        profile = tmp_path / "perf.prof"
+        code = perf_main(["--quick", "--output", str(tmp_path / "r"),
+                          "--profile", str(profile)])
+        assert code == 0
+        assert profile.stat().st_size > 0
+        assert "profile:" in capsys.readouterr().out
+
+    def test_repro_subcommand_forwards(self, out_dir, capsys):
+        code = repro_main(["perf", "--quick", "--json",
+                           "--output", str(out_dir)])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == SCHEMA_ID
