@@ -1,6 +1,12 @@
 """Set-associative cache simulator: the shared-L1 substrate of GRINCH."""
 
-from .geometry import PAPER_DEFAULT_GEOMETRY, WORD_BYTES, CacheGeometry
+from .geometry import (
+    GEOMETRY_PRESETS,
+    PAPER_DEFAULT_GEOMETRY,
+    WORD_BYTES,
+    CacheGeometry,
+    geometry_preset,
+)
 from .hierarchy import AccessResult, MemoryHierarchy, MemoryLatencies
 from .multilevel import (
     HierarchyStats,
@@ -18,9 +24,11 @@ from .policies import (
 from .setassoc import CacheStats, SetAssociativeCache
 
 __all__ = [
+    "GEOMETRY_PRESETS",
     "PAPER_DEFAULT_GEOMETRY",
     "WORD_BYTES",
     "CacheGeometry",
+    "geometry_preset",
     "AccessResult",
     "MemoryHierarchy",
     "MemoryLatencies",

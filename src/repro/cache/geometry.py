@@ -11,6 +11,7 @@ uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 #: Word size of the paper's platforms: "a single word consisting of 8 bits".
 WORD_BYTES: int = 1
@@ -94,3 +95,40 @@ class CacheGeometry:
 
 #: The paper's default L1 configuration.
 PAPER_DEFAULT_GEOMETRY = CacheGeometry()
+
+#: Named geometries the CLIs accept via ``--geometry``.  The ``paper-*``
+#: presets are the Table I line-size sweep of the paper's 16-way,
+#: 1024-line L1 (1-byte words); ``paper-8word`` is also the line size
+#: the Section IV-C reshaped-S-box countermeasure prescribes.  ``arm``
+#: is the mobile-SoC scenario geometry of the :mod:`repro.soc`
+#: direction — an ARMageddon-style Cortex-A L1-D (32 KiB, 4-way,
+#: 64-byte lines of sixteen 4-byte words).
+GEOMETRY_PRESETS: Dict[str, CacheGeometry] = {
+    "paper": PAPER_DEFAULT_GEOMETRY,
+    "paper-2word": CacheGeometry(line_words=2),
+    "paper-4word": CacheGeometry(line_words=4),
+    "paper-8word": CacheGeometry(line_words=8),
+    "arm": CacheGeometry(total_lines=512, ways=4, line_words=16,
+                         word_bytes=4),
+}
+
+
+def geometry_preset(name: str) -> CacheGeometry:
+    """Look up a named geometry preset (raises ``KeyError`` with the
+    known names on a miss)."""
+    try:
+        return GEOMETRY_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(GEOMETRY_PRESETS))
+        raise KeyError(
+            f"unknown geometry preset {name!r}; known presets: {known}"
+        ) from None
+
+
+def preset_name_of(geometry: CacheGeometry) -> "str | None":
+    """Name of the preset equal to ``geometry``, if any (used so reports
+    can record which preset produced them)."""
+    for name, candidate in GEOMETRY_PRESETS.items():
+        if candidate == geometry:
+            return name
+    return None

@@ -12,6 +12,7 @@ Exposes the headline attack and the unified experiment engine:
    $ python -m repro figure3            # legacy alias of `run figure3`
    $ python -m repro theory --line-words 4
    $ python -m repro perf --quick --json
+   $ python -m repro staticcheck leakage --check-budget
 
 ``run`` executes any registered experiment (E1–E14) through
 :mod:`repro.engine`: Monte-Carlo trials fan out over ``--workers``
@@ -340,6 +341,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # argparse.REMAINDER refuses leading optionals (``perf --quick``),
         # so hand the tail straight to the perf front-end.
         return _cmd_perf(argparse.Namespace(perf_args=argv[1:]))
+    if argv[:1] == ["staticcheck"]:
+        # Same REMAINDER limitation for ``staticcheck --json`` and the
+        # ``staticcheck leakage ...`` quantitative front-end.
+        return _cmd_staticcheck(
+            argparse.Namespace(staticcheck_args=argv[1:])
+        )
     args = _build_parser().parse_args(argv)
     return _HANDLERS[args.command](args)
 

@@ -19,6 +19,7 @@ from ..cache.geometry import CacheGeometry
 from ..gift.lut import TableLayout, TracedGiftCipher
 from ..gift.sbox import GIFT_SBOX
 from ..gift.trace import EncryptionTrace, MemoryAccess
+from ..staticcheck.equivalence import declare_table_layout
 from ..staticcheck.secrets import secret_params
 
 #: The reshaped table: row ``r`` packs entries ``2r`` (low nibble) and
@@ -27,6 +28,14 @@ RESHAPED_SBOX_ROWS: Tuple[int, ...] = tuple(
     GIFT_SBOX[2 * row] | (GIFT_SBOX[2 * row + 1] << 4)
     for row in range(8)
 )
+
+# Layout metadata for the quantitative leakage analyzer: the secret
+# domain is still the 16 S-box inputs, but two values pack per byte
+# (``index >> 1`` addressing), so the 16-value domain maps onto 8 bytes
+# — under an 8-byte line the equivalence enumeration collapses to one
+# class (0 bits), which the byte-footprint heuristic cannot establish.
+declare_table_layout("RESHAPED_SBOX_ROWS", module=__name__, domain=16,
+                     entry_bytes=1, values_per_entry=2)
 
 #: Number of rows (bytes) in the reshaped table.
 RESHAPED_ROWS: int = 8

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from ..staticcheck.equivalence import declare_table_layout
+
 #: The GIFT S-box from Banik et al., "GIFT: A Small PRESENT" (Table 1).
 GIFT_SBOX: Tuple[int, ...] = (
     0x1, 0xA, 0x4, 0xC, 0x6, 0xF, 0x3, 0x9,
@@ -24,6 +26,12 @@ GIFT_SBOX: Tuple[int, ...] = (
 GIFT_SBOX_INV: Tuple[int, ...] = tuple(
     GIFT_SBOX.index(value) for value in range(16)
 )
+
+# Layout metadata for the quantitative leakage analyzer: one byte per
+# 4-bit entry, addressed directly by the secret S-box input.
+declare_table_layout("GIFT_SBOX", module=__name__, domain=16, entry_bytes=1)
+declare_table_layout("GIFT_SBOX_INV", module=__name__, domain=16,
+                     entry_bytes=1)
 
 #: Number of entries in the GIFT S-box.
 SBOX_SIZE: int = 16

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..staticcheck.equivalence import declare_table_layout
 from ..staticcheck.secrets import secret_params
 
 #: The PRESENT S-box (branch number 3).
@@ -24,6 +25,13 @@ PRESENT_SBOX: Tuple[int, ...] = (
 PRESENT_SBOX_INV: Tuple[int, ...] = tuple(
     PRESENT_SBOX.index(value) for value in range(16)
 )
+
+# Layout metadata for the quantitative leakage analyzer (same shape as
+# the GIFT S-box: one byte per 4-bit entry, directly indexed).
+declare_table_layout("PRESENT_SBOX", module=__name__, domain=16,
+                     entry_bytes=1)
+declare_table_layout("PRESENT_SBOX_INV", module=__name__, domain=16,
+                     entry_bytes=1)
 
 #: PRESENT's bit permutation: bit ``i`` moves to ``PLAYER[i]``.
 PLAYER: Tuple[int, ...] = tuple(

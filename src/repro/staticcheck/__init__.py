@@ -21,10 +21,26 @@ access, so the same finding that is *high* severity under the paper's
 8-byte S-box under its recommended 8-byte line — the static mirror of
 the paper's Section IV-C countermeasure claim.
 
-Run it as ``python -m repro.staticcheck [paths] [--json] [--baseline]``.
+The coarse ``log2`` figure is refined by the quantitative layer
+(:mod:`repro.staticcheck.leakage`): concrete tables are resolved through
+declared :class:`~repro.staticcheck.equivalence.TableAccessLayout`
+metadata and the secret domain is enumerated into
+observation-equivalence classes, giving exact per-site bits-leaked
+figures and the committed per-geometry leakage budget CI gates on.
+
+Run it as ``python -m repro.staticcheck [paths] [--json] [--baseline]``
+or ``python -m repro.staticcheck leakage [--check-budget] [--validate]``.
 """
 
 from .analyzer import analyze_module_source
+from .equivalence import (
+    ObservationPartition,
+    TableAccessLayout,
+    composed_rounds_bound,
+    declare_table_layout,
+    partition_by_observation,
+    refine,
+)
 from .findings import Finding, Severity, SinkKind, leak_bits_for_table
 from .project import analyze_paths
 from .report import Report
@@ -39,14 +55,20 @@ from .secrets import (
 __all__ = [
     "DEFAULT_SECRET_CONFIG",
     "Finding",
+    "ObservationPartition",
     "Report",
     "SecretConfig",
     "Severity",
     "SinkKind",
+    "TableAccessLayout",
     "analyze_module_source",
     "analyze_paths",
+    "composed_rounds_bound",
+    "declare_table_layout",
     "declassify",
     "leak_bits_for_table",
-    "secret_attributes",
+    "partition_by_observation",
+    "refine",
     "secret_params",
+    "secret_attributes",
 ]

@@ -42,7 +42,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cache.geometry import CacheGeometry, PAPER_DEFAULT_GEOMETRY
-from .findings import Finding, SinkKind, default_severity, table_finding_message
+from .findings import (
+    Finding,
+    SinkKind,
+    default_leak_bits,
+    default_severity,
+    table_finding_message,
+)
 from .secrets import DEFAULT_SECRET_CONFIG, SecretConfig
 from .tables import TableInfo, collect_imported_names, collect_module_tables
 
@@ -460,6 +466,7 @@ class ModuleAnalysis:
             expression=ast.unparse(node) if isinstance(node, ast.expr)
             else "",
             message=messages[kind],
+            leak_bits=default_leak_bits(kind),
             severity=default_severity(kind),
             secret_sources=", ".join(ctx.sources),
         )

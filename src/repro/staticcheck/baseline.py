@@ -66,5 +66,6 @@ def write_baseline(report: Report, path: Path) -> None:
         ),
         suppressed=[],
         stats=report.stats,
+        preset=report.preset,
     )
     path.write_text(full.to_json() + "\n")

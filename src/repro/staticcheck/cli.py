@@ -6,8 +6,12 @@
    $ python -m repro.staticcheck src/repro --json         # JSON report
    $ python -m repro.staticcheck src/repro --baseline     # CI mode
    $ python -m repro.staticcheck src/repro --write-baseline
-   $ python -m repro.staticcheck src/repro --line-words 8 # countermeasure
-                                                          # geometry
+   $ python -m repro.staticcheck src/repro --geometry paper-8word
+   $ python -m repro.staticcheck leakage --check-budget   # quantitative
+                                                          # gate
+
+``leakage`` as the first positional hands off to the quantitative
+analyzer (:mod:`repro.staticcheck.leakage`), which has its own options.
 
 Exit status: 0 when no unsuppressed finding reaches the ``--fail-on``
 severity (default ``medium``), 1 otherwise, 2 on usage errors.
@@ -20,7 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from ..cache.geometry import CacheGeometry
+from ..cache.geometry import GEOMETRY_PRESETS, CacheGeometry, geometry_preset
 from .baseline import (
     DEFAULT_BASELINE_NAME,
     apply_baseline,
@@ -58,8 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, metavar="PATH",
         help="write the current findings as the new baseline and exit 0",
     )
-    parser.add_argument(
-        "--line-words", type=int, choices=(1, 2, 4, 8), default=1,
+    geometry = parser.add_mutually_exclusive_group()
+    geometry.add_argument(
+        "--geometry", choices=sorted(GEOMETRY_PRESETS), default=None,
+        help="named cache-geometry preset for the severity model "
+             "(default: paper; recorded in written baselines)",
+    )
+    geometry.add_argument(
+        "--line-words", type=int, choices=(1, 2, 4, 8), default=None,
         help="cache line size in 1-byte words for the severity model "
              "(1 = paper default; 8 = reshaped-S-box recommendation)",
     )
@@ -72,9 +82,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "leakage":
+        from .leakage import main as leakage_main
+        return leakage_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     paths = args.paths or self_check_paths()
-    geometry = CacheGeometry(line_words=args.line_words)
+    if args.line_words is not None:
+        geometry = CacheGeometry(line_words=args.line_words)
+    else:
+        geometry = geometry_preset(args.geometry or "paper")
 
     try:
         findings, stats = analyze_paths(paths, geometry=geometry)

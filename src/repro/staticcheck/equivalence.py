@@ -1,0 +1,267 @@
+"""Observation-equivalence classes of secret-dependent accesses.
+
+The coarse severity model in :mod:`repro.staticcheck.findings` scores a
+table lookup by ``log2(ceil(table_bytes / line_bytes))`` — a heuristic
+that happens to be right for line-aligned tables with one secret value
+per entry, and silently wrong for anything else (packed entries, base
+offsets, non-contiguous layouts).  This module computes the figure the
+heuristic approximates, exactly, by doing what *Quantifying the
+Information Leak in Cache Attacks through Symbolic Execution* does for
+binaries: enumerate, for every feasible secret value, the observation a
+line-granularity attacker makes, and partition the secret domain into
+**observation-equivalence classes** — two secret values are equivalent
+iff they produce identical observations.
+
+The domains here are tiny (a cipher table has at most 256 entries and
+GIFT's S-box has 16), so the enumeration is exhaustive and exact for a
+single access.  Across rounds the channel only composes abstractly
+(later-round indices mix key and state), so multi-round figures are
+*bounds*, not exact values — see :func:`composed_rounds_bound`.
+
+Two entropy figures matter per partition:
+
+``shannon_bits``
+    Mutual information ``I(S; O)`` for a uniform secret: the *expected*
+    bits an observation reveals.  For a partition into classes of sizes
+    ``n_i`` over a domain of ``N``: ``log2(N) - sum(n_i/N * log2(n_i))``.
+
+``min_entropy_bits``
+    ``log2(#classes)`` — the channel-capacity bound (maximum bits one
+    observation can ever convey).  For uniform partitions, such as an
+    aligned power-of-two table, the two coincide: the GIFT S-box under
+    1-byte lines gives sixteen singleton classes, 4.0 bits by either
+    measure, which is exactly the per-segment yield GRINCH consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..cache.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class ObservationPartition:
+    """A partition of a secret domain by attacker observation.
+
+    ``classes`` holds disjoint, sorted tuples of secret values covering
+    ``range(domain)``; values share a class iff they are observationally
+    indistinguishable.
+    """
+
+    classes: Tuple[Tuple[int, ...], ...]
+    domain: int
+
+    def __post_init__(self) -> None:
+        covered = sorted(v for cls in self.classes for v in cls)
+        if covered != list(range(self.domain)):
+            raise ValueError(
+                f"classes must partition range({self.domain}), "
+                f"got cover {covered}"
+            )
+
+    @property
+    def class_count(self) -> int:
+        """Number of distinguishable observations."""
+        return len(self.classes)
+
+    @property
+    def shannon_bits(self) -> float:
+        """Expected leaked bits per observation (uniform secret)."""
+        total = 0.0
+        for cls in self.classes:
+            p = len(cls) / self.domain
+            total -= p * math.log2(p)
+        return total
+
+    @property
+    def min_entropy_bits(self) -> float:
+        """Channel-capacity bound: ``log2`` of the class count."""
+        return math.log2(self.class_count)
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether every class has the same size (then the two entropy
+        figures coincide)."""
+        sizes = {len(cls) for cls in self.classes}
+        return len(sizes) == 1
+
+    def class_of(self, value: int) -> Tuple[int, ...]:
+        """The equivalence class containing ``value``."""
+        for cls in self.classes:
+            if value in cls:
+                return cls
+        raise ValueError(f"value {value} outside domain {self.domain}")
+
+    def channel_matrix(self) -> Tuple[Tuple[float, ...], ...]:
+        """Deterministic channel matrix ``P[o | s]``: one row per secret
+        value, one column per equivalence class."""
+        rows: List[Tuple[float, ...]] = []
+        for value in range(self.domain):
+            cls = self.class_of(value)
+            rows.append(tuple(
+                1.0 if candidate is cls else 0.0 for candidate in self.classes
+            ))
+        return tuple(rows)
+
+
+def partition_by_observation(domain: int,
+                             observe: Callable[[int], Hashable]
+                             ) -> ObservationPartition:
+    """Partition ``range(domain)`` by the value of ``observe``.
+
+    ``observe`` maps a secret value to whatever the attacker sees for it
+    (a cache line, a set of lines, a latency class …); any hashable
+    observation works.
+    """
+    if domain < 1:
+        raise ValueError(f"domain must be positive, got {domain}")
+    groups: Dict[Hashable, List[int]] = {}
+    for value in range(domain):
+        groups.setdefault(observe(value), []).append(value)
+    classes = tuple(sorted(
+        (tuple(sorted(values)) for values in groups.values()),
+    ))
+    return ObservationPartition(classes=classes, domain=domain)
+
+
+def refine(first: ObservationPartition,
+           second: ObservationPartition) -> ObservationPartition:
+    """Joint partition of two observations of the *same* secret.
+
+    An attacker who sees both observations distinguishes two secrets iff
+    either observation does, so the joint partition is the common
+    refinement; its leakage dominates each component's.
+    """
+    if first.domain != second.domain:
+        raise ValueError(
+            f"partitions cover different domains: "
+            f"{first.domain} vs {second.domain}"
+        )
+
+    def joint(value: int) -> Hashable:
+        return (first.class_of(value), second.class_of(value))
+
+    return partition_by_observation(first.domain, joint)
+
+
+def composed_rounds_bound(per_observation_bits: float, observations: int,
+                          secret_bits: float) -> float:
+    """Abstract multi-round bound on total leaked bits.
+
+    One observation leaks at most ``per_observation_bits``; ``k``
+    observations leak at most ``k`` times that, and never more than the
+    secret holds.  This is the channel-matrix composition collapsed to
+    its capacity bound — exact enumeration across rounds would need the
+    key schedule, which is deliberately out of scope for a static tool.
+    """
+    if per_observation_bits < 0 or secret_bits < 0:
+        raise ValueError("bit counts must be non-negative")
+    if observations < 0:
+        raise ValueError(f"observations must be non-negative, "
+                         f"got {observations}")
+    return min(secret_bits, observations * per_observation_bits)
+
+
+# ----------------------------------------------------------------------
+# Table access layouts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableAccessLayout:
+    """How a secret value maps to the byte address of a table load.
+
+    Parameters
+    ----------
+    domain:
+        Number of distinct secret index values (16 for a GIFT nibble).
+    entry_bytes:
+        Stride between consecutive table entries.
+    values_per_entry:
+        Secret values packed into one entry.  The reshaped S-box packs
+        two nibble results per byte (``index >> 1`` selects the row), so
+        the low index bit never reaches the address bus: 2 here.
+    base_offset:
+        Byte offset of the table base within its cache line (0 = the
+        line-aligned placement every :class:`~repro.gift.lut.TableLayout`
+        default uses).
+    """
+
+    domain: int
+    entry_bytes: int = 1
+    values_per_entry: int = 1
+    base_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.domain < 1:
+            raise ValueError(f"domain must be positive, got {self.domain}")
+        if self.entry_bytes < 1 or self.values_per_entry < 1:
+            raise ValueError("entry_bytes and values_per_entry must be "
+                             "positive")
+        if self.base_offset < 0:
+            raise ValueError(
+                f"base_offset must be non-negative, got {self.base_offset}"
+            )
+
+    def address_of(self, value: int) -> int:
+        """Byte address (relative to the line base) loaded for ``value``."""
+        if not 0 <= value < self.domain:
+            raise ValueError(
+                f"value must be in [0, {self.domain}), got {value}"
+            )
+        return self.base_offset + self.entry_bytes * (
+            value // self.values_per_entry
+        )
+
+    def partition(self, geometry: CacheGeometry) -> ObservationPartition:
+        """Observation-equivalence classes under a line-granularity
+        attacker: two values are equivalent iff their loads land on the
+        same cache line."""
+        return partition_by_observation(
+            self.domain,
+            lambda value: geometry.line_of(self.address_of(value)),
+        )
+
+    def leaked_bits(self, geometry: CacheGeometry) -> float:
+        """Expected bits one access leaks under ``geometry``."""
+        return self.partition(geometry).shannon_bits
+
+
+#: Runtime registry of declared layouts, keyed by qualified table name.
+TABLE_LAYOUTS: Dict[str, TableAccessLayout] = {}
+
+
+def declare_table_layout(name: str, *, module: str, domain: int,
+                         entry_bytes: int = 1, values_per_entry: int = 1,
+                         base_offset: int = 0) -> TableAccessLayout:
+    """Annotate a module-level table with its secret-to-address layout.
+
+    Call this at module level next to the table definition, passing
+    ``module=__name__``::
+
+        RESHAPED_SBOX_ROWS = (...)
+        declare_table_layout("RESHAPED_SBOX_ROWS", module=__name__,
+                             domain=16, entry_bytes=1, values_per_entry=2)
+
+    The call is doubly useful: it registers the layout at runtime (for
+    library consumers and tests) **and** is statically discoverable — the
+    leakage analyzer recognises the call shape in the AST without
+    importing the victim, exactly like the ``@secret_params`` taint
+    annotations.  Tables without a declaration fall back to the shape
+    :mod:`repro.staticcheck.tables` infers (one secret value per entry).
+    """
+    layout = TableAccessLayout(
+        domain=domain,
+        entry_bytes=entry_bytes,
+        values_per_entry=values_per_entry,
+        base_offset=base_offset,
+    )
+    TABLE_LAYOUTS[f"{module}.{name}" if module else name] = layout
+    return layout
+
+
+def declared_layout(qualified_name: str) -> Optional[TableAccessLayout]:
+    """Runtime lookup of a declared layout by qualified table name."""
+    return TABLE_LAYOUTS.get(qualified_name)

@@ -15,10 +15,18 @@ which is exactly what GRINCH consumes.  The reshaped 8-byte table under
 its recommended 8-byte line leaks 0 bits: every lookup touches the same
 line, and the finding demotes to *info*.
 
-Branch/loop sinks and secret-dependent ``MemoryAccess`` addresses have
-no table footprint to scale by; they keep fixed severities (the timing
-channel leaks at least the branch predicate, and an attacker-visible
-address stream is the strongest channel of all).
+Branch/loop sinks have no table footprint to scale by, but they are
+not unquantifiable: one observed branch outcome resolves one predicate,
+so each such sink carries a 1-bit-per-observation bound
+(:data:`BRANCH_PREDICATE_BITS`).  Secret-dependent ``MemoryAccess``
+addresses and lookups into containers of unknown size stay
+unquantified (``leak_bits = None``) — the report counts them separately
+so a ``None`` can never silently understate a leakage total.
+
+The ``leak_bits`` figure here is the *coarse* model (good enough for
+severity ranking and baseline diffs).  The exact per-site figures,
+computed by enumerating observation-equivalence classes instead of the
+``log2`` heuristic, live in :mod:`repro.staticcheck.leakage`.
 """
 
 from __future__ import annotations
@@ -58,6 +66,23 @@ def leak_bits_for_table(table_bytes: int, geometry: CacheGeometry) -> float:
     if table_bytes <= 0:
         raise ValueError(f"table must occupy at least one byte, got {table_bytes}")
     return math.log2(geometry.lines_spanned(table_bytes))
+
+
+#: Per-observation bound on a secret-dependent branch or loop bound: the
+#: timing channel resolves exactly one predicate per observation.
+BRANCH_PREDICATE_BITS: float = 1.0
+
+
+def default_leak_bits(kind: "SinkKind") -> Optional[float]:
+    """Leak-bits figure for a sink with no table footprint.
+
+    Branch and loop sinks get their 1-bit-per-predicate bound; address
+    sinks and unknown-size lookups stay unquantified (``None``) and are
+    counted separately by the report.
+    """
+    if kind in (SinkKind.BRANCH, SinkKind.LOOP_BOUND):
+        return BRANCH_PREDICATE_BITS
+    return None
 
 
 @dataclass(frozen=True)
@@ -135,7 +160,7 @@ class Finding:
                                      geometry)
             return replace(self, leak_bits=bits, severity=severity,
                            message=message)
-        return replace(self, leak_bits=None,
+        return replace(self, leak_bits=default_leak_bits(self.kind),
                        severity=_DEFAULT_SEVERITY[self.kind])
 
 

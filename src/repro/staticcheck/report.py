@@ -12,7 +12,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
-from ..cache.geometry import CacheGeometry
+from typing import Optional
+
+from ..cache.geometry import CacheGeometry, preset_name_of
 from .findings import Finding, Severity
 
 #: Schema version of the JSON report / baseline format.
@@ -27,11 +29,35 @@ class Report:
     findings: List[Finding]
     suppressed: List[Finding] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Name of the geometry preset the run used (``None`` when the
+    #: geometry was given through raw ``--line-words``-style flags but
+    #: matches no preset); recorded in the JSON so a committed baseline
+    #: says which preset produced it.
+    preset: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.preset is None:
+            self.preset = preset_name_of(self.geometry)
+
+    @property
+    def quantified_leak_bits(self) -> float:
+        """Sum of leak bits over findings carrying a figure (table
+        lookups with known tables, branch/loop predicate bounds)."""
+        return sum(f.leak_bits for f in self.findings
+                   if f.leak_bits is not None)
+
+    @property
+    def unquantified_findings(self) -> int:
+        """Findings with no leak-bits figure (unknown-size containers,
+        raw address sinks).  Reported separately: a ``None`` must never
+        silently count as zero bits."""
+        return sum(1 for f in self.findings if f.leak_bits is None)
 
     @property
     def total_leak_bits(self) -> float:
-        """Sum of leak bits over table-lookup findings with known tables."""
-        return sum(f.leak_bits or 0.0 for f in self.findings)
+        """Alias of :attr:`quantified_leak_bits` (kept for callers of
+        the pre-quantitative API)."""
+        return self.quantified_leak_bits
 
     def worst_severity(self) -> Severity:
         """Highest severity among unsuppressed findings (INFO if none)."""
@@ -52,6 +78,7 @@ class Report:
                 "line_words": self.geometry.line_words,
                 "word_bytes": self.geometry.word_bytes,
                 "line_bytes": self.geometry.line_bytes,
+                "preset": self.preset,
             },
             "findings": [f.to_dict() for f in self.findings],
             "summary": {
@@ -59,6 +86,8 @@ class Report:
                 "findings": len(self.findings),
                 "suppressed": len(self.suppressed),
                 "total_leak_bits": self.total_leak_bits,
+                "quantified_leak_bits": self.quantified_leak_bits,
+                "unquantified_findings": self.unquantified_findings,
                 "worst_severity": self.worst_severity().value,
             },
         }
@@ -74,6 +103,7 @@ class Report:
         lines.append(
             f"staticcheck: cache geometry {geometry.line_bytes}-byte lines, "
             f"{geometry.num_sets} sets x {geometry.ways} ways"
+            + (f" (preset: {self.preset})" if self.preset else "")
         )
         by_path: Dict[str, List[Finding]] = {}
         for finding in self.findings:
@@ -96,8 +126,9 @@ class Report:
         summary = (
             f"{len(self.findings)} finding(s)"
             f" ({len(self.suppressed)} baselined/suppressed),"
-            f" total line-granularity leakage"
-            f" {self.total_leak_bits:g} bits/encryption-access-site"
+            f" quantified line-granularity leakage"
+            f" {self.quantified_leak_bits:g} bits/encryption-access-site"
+            f" + {self.unquantified_findings} unquantified site(s)"
         )
         if self.stats:
             summary += (f" across {self.stats.get('files', 0)} files /"

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.staticcheck.cli import main
 
 from . import fixtures
@@ -48,6 +50,7 @@ class TestJsonReport:
         assert report["tool"] == "repro.staticcheck"
         assert set(report["geometry"]) == {
             "total_lines", "ways", "line_words", "word_bytes", "line_bytes",
+            "preset",
         }
         assert report["findings"], "expected at least one finding"
         for finding in report["findings"]:
@@ -69,6 +72,28 @@ class TestJsonReport:
         lookup_bits = [f["leak_bits"] for f in wide["findings"]
                        if f["kind"] == "table-lookup"]
         assert lookup_bits == [0.0]
+
+    def test_named_preset_is_recorded_and_applied(self, tmp_path, capsys):
+        path = write_fixture(tmp_path, "packed.py",
+                             fixtures.RESHAPED_STYLE_TABLE)
+        main([str(path), "--json", "--geometry", "paper-8word",
+              "--fail-on", "high"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["geometry"]["preset"] == "paper-8word"
+        assert report["geometry"]["line_bytes"] == 8
+        main([str(path), "--json", "--geometry", "arm",
+              "--fail-on", "high"])
+        arm = json.loads(capsys.readouterr().out)
+        assert arm["geometry"]["preset"] == "arm"
+        assert arm["geometry"]["line_bytes"] == 64
+
+    def test_preset_and_line_words_are_mutually_exclusive(self, tmp_path,
+                                                          capsys):
+        path = write_fixture(tmp_path, "packed.py",
+                             fixtures.RESHAPED_STYLE_TABLE)
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(path), "--geometry", "arm", "--line-words", "8"])
+        assert excinfo.value.code == 2
 
 
 class TestBaselineRoundTrip:

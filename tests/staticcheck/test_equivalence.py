@@ -1,0 +1,180 @@
+"""Observation-equivalence enumeration: partitions, layouts, bounds."""
+
+import math
+
+import pytest
+
+from repro.cache.geometry import (
+    GEOMETRY_PRESETS,
+    CacheGeometry,
+    geometry_preset,
+    preset_name_of,
+)
+from repro.staticcheck.equivalence import (
+    TABLE_LAYOUTS,
+    ObservationPartition,
+    TableAccessLayout,
+    composed_rounds_bound,
+    declare_table_layout,
+    declared_layout,
+    partition_by_observation,
+    refine,
+)
+
+PAPER = geometry_preset("paper")
+EIGHT_BYTE_LINES = geometry_preset("paper-8word")
+
+
+class TestPartition:
+    def test_identity_observation_gives_singletons(self):
+        partition = partition_by_observation(16, lambda v: v)
+        assert partition.class_count == 16
+        assert partition.min_entropy_bits == 4.0
+        assert partition.shannon_bits == 4.0
+        assert partition.is_uniform
+
+    def test_constant_observation_gives_one_class(self):
+        partition = partition_by_observation(16, lambda v: 0)
+        assert partition.class_count == 1
+        assert partition.min_entropy_bits == 0.0
+        assert partition.shannon_bits == 0.0
+
+    def test_pairing_observation_gives_three_bits(self):
+        partition = partition_by_observation(16, lambda v: v >> 1)
+        assert partition.class_count == 8
+        assert partition.shannon_bits == 3.0
+
+    def test_nonuniform_shannon_below_min_entropy(self):
+        # 3 classes of sizes 1/1/14: capacity log2(3), Shannon lower.
+        partition = partition_by_observation(16, lambda v: min(v, 2))
+        assert partition.class_count == 3
+        assert not partition.is_uniform
+        assert partition.shannon_bits < partition.min_entropy_bits
+        assert partition.min_entropy_bits == pytest.approx(math.log2(3))
+
+    def test_class_of_maps_every_value(self):
+        partition = partition_by_observation(16, lambda v: v % 3)
+        for value in range(16):
+            assert value in partition.class_of(value)
+
+    def test_channel_matrix_rows_are_deterministic(self):
+        partition = partition_by_observation(8, lambda v: v // 4)
+        matrix = partition.channel_matrix()
+        assert len(matrix) == 8
+        for value, row in enumerate(matrix):
+            assert sum(row) == pytest.approx(1.0)
+            column = partition.classes.index(partition.class_of(value))
+            assert row[column] == 1.0
+
+    def test_partition_must_cover_domain(self):
+        with pytest.raises(ValueError):
+            ObservationPartition(classes=((0, 1),), domain=4)
+
+
+class TestRefine:
+    def test_refining_with_constant_is_identity(self):
+        first = partition_by_observation(16, lambda v: v >> 2)
+        joint = refine(first, partition_by_observation(16, lambda v: 0))
+        assert joint.classes == first.classes
+
+    def test_two_coarse_views_can_identify_the_secret(self):
+        high = partition_by_observation(16, lambda v: v >> 2)
+        low = partition_by_observation(16, lambda v: v & 0x3)
+        joint = refine(high, low)
+        assert joint.class_count == 16
+        assert joint.min_entropy_bits == 4.0
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            refine(partition_by_observation(8, lambda v: v),
+                   partition_by_observation(16, lambda v: v))
+
+
+class TestComposedRoundsBound:
+    def test_caps_at_secret_size(self):
+        assert composed_rounds_bound(4.0, observations=100,
+                                     secret_bits=128) == 128.0
+
+    def test_linear_below_the_cap(self):
+        assert composed_rounds_bound(4.0, observations=3,
+                                     secret_bits=128) == 12.0
+
+    def test_zero_bit_channel_composes_to_zero(self):
+        assert composed_rounds_bound(0.0, observations=10 ** 6,
+                                     secret_bits=128) == 0.0
+
+
+class TestTableAccessLayout:
+    def test_gift_sbox_under_paper_geometry_is_four_bits(self):
+        layout = TableAccessLayout(domain=16, entry_bytes=1)
+        partition = layout.partition(PAPER)
+        assert partition.class_count == 16
+        assert layout.leaked_bits(PAPER) == 4.0
+
+    def test_reshaped_sbox_under_8byte_lines_is_zero_bits(self):
+        layout = TableAccessLayout(domain=16, entry_bytes=1,
+                                   values_per_entry=2)
+        assert layout.leaked_bits(EIGHT_BYTE_LINES) == 0.0
+        assert layout.partition(EIGHT_BYTE_LINES).class_count == 1
+
+    def test_reshaped_sbox_under_paper_geometry_is_three_bits(self):
+        layout = TableAccessLayout(domain=16, entry_bytes=1,
+                                   values_per_entry=2)
+        assert layout.leaked_bits(PAPER) == 3.0
+
+    def test_wide_entries_span_more_lines(self):
+        # 4-byte entries under 4-byte lines: one line per entry.
+        layout = TableAccessLayout(domain=16, entry_bytes=4)
+        assert layout.leaked_bits(geometry_preset("paper-4word")) == 4.0
+
+    def test_base_offset_can_split_classes(self):
+        aligned = TableAccessLayout(domain=16, entry_bytes=1)
+        shifted = TableAccessLayout(domain=16, entry_bytes=1, base_offset=4)
+        geometry = CacheGeometry(line_words=8)
+        # 16 aligned bytes fill two 8-byte lines; shifting by 4 makes
+        # the table straddle three.
+        assert aligned.partition(geometry).class_count == 2
+        assert shifted.partition(geometry).class_count == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TableAccessLayout(domain=0)
+        with pytest.raises(ValueError):
+            TableAccessLayout(domain=16, values_per_entry=0)
+
+
+class TestDeclarationRegistry:
+    def test_declare_registers_qualified_name(self):
+        layout = declare_table_layout(
+            "TEST_TABLE", module="tests.fake.module", domain=16,
+            entry_bytes=1, values_per_entry=2,
+        )
+        try:
+            assert declared_layout("tests.fake.module.TEST_TABLE") is layout
+        finally:
+            TABLE_LAYOUTS.pop("tests.fake.module.TEST_TABLE", None)
+
+    def test_victim_modules_register_their_layouts(self):
+        import repro.countermeasures.reshaped_sbox  # noqa: F401
+        import repro.gift.sbox  # noqa: F401
+
+        sbox = declared_layout("repro.gift.sbox.GIFT_SBOX")
+        assert sbox is not None and sbox.leaked_bits(PAPER) == 4.0
+        packed = declared_layout(
+            "repro.countermeasures.reshaped_sbox.RESHAPED_SBOX_ROWS"
+        )
+        assert packed is not None
+        assert packed.leaked_bits(EIGHT_BYTE_LINES) == 0.0
+
+
+class TestGeometryPresets:
+    def test_paper_preset_is_the_default_geometry(self):
+        assert geometry_preset("paper") == CacheGeometry()
+
+    def test_preset_names_round_trip(self):
+        for name in GEOMETRY_PRESETS:
+            assert preset_name_of(geometry_preset(name)) == name
+
+    def test_unknown_preset_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="paper"):
+            geometry_preset("xeon")
