@@ -29,7 +29,8 @@ from .core import (
     NoiseModel,
     recover_full_key,
 )
-from .gift import Gift64, Gift128, TableLayout, TracedGift64, TracedGift128
+from .targets.gift import Gift64, Gift128, TracedGift64, TracedGift128
+from .targets.layout import TableLayout
 from .present import Present
 from .soc import MPSoC, ClockDomain, SingleCoreSoC
 from .variants import TimeDrivenAttack, TraceDrivenAttack

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.config import AttackConfig
 from ..engine import run_experiment
 from ..engine.experiments import DROPOUT_THRESHOLD
-from ..gift.lut import TableLayout
+from ..targets.layout import TableLayout
 from ..soc.clock import PAPER_FREQUENCIES_HZ
 from ..soc.platform import ProbeReport
 from .statistics import Summary

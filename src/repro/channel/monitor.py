@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
 
 from ..cache.geometry import CacheGeometry
-from ..gift.lut import TableLayout
-from ..gift.sbox import SBOX_SIZE
+from ..targets.layout import SBOX_ENTRIES as SBOX_SIZE
+from ..targets.layout import TableLayout
 
 
 @dataclass(frozen=True)

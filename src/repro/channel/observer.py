@@ -46,7 +46,7 @@ from dataclasses import dataclass
 from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..cache.hierarchy import MemoryLatencies
-from ..gift.lut import TracedGiftCipher
+from ..targets.protocol import TracedVictim
 from ..seeding import derive_rng
 from ..staticcheck import secret_attributes
 from .monitor import SboxMonitor
@@ -100,7 +100,7 @@ class ObservationChannel:
         the cross-core subclass uses ``"crosscore"``.
     """
 
-    def __init__(self, victim: TracedGiftCipher, config: Any,
+    def __init__(self, victim: TracedVictim, config: Any,
                  rng: Optional[random.Random] = None, *,
                  transport: Optional[CacheTransport] = None,
                  primitive: Optional[ProbePrimitive] = None,
@@ -181,17 +181,22 @@ class ObservationChannel:
         """Encrypt ``plaintext`` and return the probe's line observation.
 
         ``attacked_round`` is the round whose key bits are targeted
-        (``t``); the probe lands after round ``t + probing_round``
-        completes, and — when the flush is enabled and the primitive
-        supports it — the monitored lines are flushed right after round
-        ``t`` so earlier rounds leave no residue.
+        (``t``); the monitored accesses happen in round ``t +
+        probe_round_offset`` (``t + 1`` for GIFT, whose key enters
+        after round ``t``; ``t`` itself for PRESENT).  The probe lands
+        after the monitored round plus ``probing_round - 1`` further
+        rounds complete, and — when the flush is enabled and the
+        primitive supports it — the monitored lines are flushed right
+        before the monitored round so earlier rounds leave no residue.
         """
         if attacked_round < 1:
             raise ValueError(
                 f"attacked_round must be >= 1, got {attacked_round}"
             )
         self.encryptions_run += 1
-        visible_through = attacked_round + self.config.probing_round
+        offset = getattr(self.victim, "probe_round_offset", 1)
+        monitored_round = attacked_round + offset
+        visible_through = monitored_round - 1 + self.config.probing_round
         for degradation in self.degradations:
             if degradation.shifts_window:
                 # A jittered probe lands early or late: late draws add
@@ -201,7 +206,7 @@ class ObservationChannel:
                 visible_through = min(visible_through, self.victim.rounds)
         flush_supported = (self.config.use_flush
                            and self.primitive.supports_mid_flush)
-        first_visible = attacked_round + 1 if flush_supported else 1
+        first_visible = monitored_round if flush_supported else 1
 
         if visible_through < first_visible:
             observed = self._empty_window_observation()
@@ -217,7 +222,7 @@ class ObservationChannel:
         else:
             observed = self.primitive.filter_observation(
                 self._full_observation(
-                    plaintext, attacked_round, visible_through,
+                    plaintext, monitored_round, visible_through,
                     flush_supported
                 )
             )
@@ -252,7 +257,7 @@ class ObservationChannel:
             for index in round_indices
         )
 
-    def _full_observation(self, plaintext: int, attacked_round: int,
+    def _full_observation(self, plaintext: int, monitored_round: int,
                           visible_through: int,
                           flush_supported: bool) -> FrozenSet[int]:
         trace = self.victim.encrypt_traced(
@@ -262,7 +267,7 @@ class ObservationChannel:
         flushed = False
         for access in trace.accesses:
             if (flush_supported and not flushed
-                    and access.round_index > attacked_round):
+                    and access.round_index >= monitored_round):
                 self.primitive.mid_flush(self.transport)
                 flushed = True
             self.transport.victim_access(access.address)
@@ -350,7 +355,7 @@ class ObservationChannel:
         return self.victim.encrypt(plaintext)
 
 
-def observe_window(victim: TracedGiftCipher, plaintext: int,
+def observe_window(victim: TracedVictim, plaintext: int,
                    geometry: Any, first_round: int, last_round: int,
                    latencies: MemoryLatencies = MemoryLatencies(),
                    surface: Optional[CacheTransport] = None
@@ -387,7 +392,7 @@ def observe_window(victim: TracedGiftCipher, plaintext: int,
     )
 
 
-def hit_miss_trace(victim: TracedGiftCipher, plaintext: int,
+def hit_miss_trace(victim: TracedVictim, plaintext: int,
                    geometry: Any,
                    first_round: int, last_round: int) -> Tuple[bool, ...]:
     """Trace-driven channel: the window's hit/miss sequence."""
@@ -396,7 +401,7 @@ def hit_miss_trace(victim: TracedGiftCipher, plaintext: int,
     ).hit_miss
 
 
-def encryption_latency(victim: TracedGiftCipher, plaintext: int,
+def encryption_latency(victim: TracedVictim, plaintext: int,
                        geometry: Any,
                        first_round: int, last_round: int,
                        latencies: MemoryLatencies = MemoryLatencies()

@@ -48,7 +48,7 @@ from .engine import (
     results_dir,
     run_experiment,
 )
-from .gift.lut import TracedGift64, TracedGift128
+from .targets.gift import TracedGift64, TracedGift128
 
 
 def _build_parser() -> argparse.ArgumentParser:

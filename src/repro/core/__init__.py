@@ -4,7 +4,7 @@ on table-based GIFT implementations.
 Typical use::
 
     from repro.core import AttackConfig, GrinchAttack
-    from repro.gift import TracedGift64
+    from repro.targets.gift import TracedGift64
 
     victim = TracedGift64(master_key=secret)
     result = GrinchAttack(victim, AttackConfig(seed=1)).recover_master_key()
@@ -55,14 +55,6 @@ from .results import (
 from .target_bits import SourceBit, TargetSpec, set_target_bits
 from .voting import VotingEliminator, VotingPolicy
 
-#: Historic names: the runner became the observation channel, and the
-#: probe-strategy vocabulary became the primitive one (the modules
-#: :mod:`repro.core.runner` / :mod:`repro.core.probe` are deprecation
-#: shims; these package-level aliases stay warning-free).
-CacheAttackRunner = ObservationChannel
-ProbeStrategy = ProbePrimitive
-make_probe = make_primitive
-
 __all__ = [
     "FULL_KEY_ROUNDS",
     "GrinchAttack",
@@ -95,9 +87,7 @@ __all__ = [
     "PrimeProbe",
     "ObservationChannel",
     "ProbePrimitive",
-    "ProbeStrategy",
     "make_primitive",
-    "make_probe",
     "PROFILE_64",
     "PROFILE_128",
     "GiftAttackProfile",
@@ -111,7 +101,6 @@ __all__ = [
     "RoundAttackOutcome",
     "RoundKeyEstimate",
     "SegmentOutcome",
-    "CacheAttackRunner",
     "SourceBit",
     "TargetSpec",
     "set_target_bits",

@@ -33,11 +33,11 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..seeding import derive_rng
-from ..gift.cipher import GiftCipher
-from ..gift.lut import TracedGiftCipher
+from ..targets.protocol import TracedVictim
+from ..targets.registry import resolve_target_for
 from .config import AttackConfig
 from .crafting import PlaintextCrafter
 from .eliminate import CandidateEliminator
@@ -60,13 +60,17 @@ from .results import (
     SegmentOutcome,
 )
 from ..channel.observer import ObservationChannel
-from .profile import profile_for_width
 from .target_bits import TargetSpec, set_target_bits
 from .voting import VotingEliminator, VotingPolicy
 
 #: Number of attacked rounds needed for the full GIFT-64 key
-#: (GIFT-128 needs only 2; see :mod:`repro.core.profile`).
+#: (GIFT-128 needs only 2; see :mod:`repro.targets.gift`).
 FULL_KEY_ROUNDS = 4
+
+#: The verification stage's expected line: a constant for ciphers whose
+#: verification key is fully determined (GIFT), or a function of the
+#: prior-round hypothesis when the schedule couples them (PRESENT).
+ExpectedLine = Union[int, Callable[[Dict[int, KeyBitPair]], int]]
 
 
 class _VotingVerdict:
@@ -96,7 +100,7 @@ class GrinchAttack:
     recovery).
     """
 
-    def __init__(self, victim: TracedGiftCipher,
+    def __init__(self, victim: TracedVictim,
                  config: Optional[AttackConfig] = None,
                  runner=None) -> None:
         self.config = config if config is not None else AttackConfig()
@@ -104,7 +108,11 @@ class GrinchAttack:
             raise ValueError(
                 "victim table layout differs from the attack configuration"
             )
-        self.profile = profile_for_width(victim.width)
+        # The victim's registered cipher target supplies the structural
+        # bookkeeping the profile used to hold (and is a superset of it:
+        # crafting inversion, key algebra, reference encryption).
+        self.target = resolve_target_for(victim)
+        self.profile = self.target
         # ``runner`` lets alternative observation substrates plug in —
         # e.g. the cross-core shared-L2 channel of repro.core.crosscore,
         # or an ObservationChannel with a custom primitive/transport/
@@ -148,7 +156,7 @@ class GrinchAttack:
 
     def recover_master_key(self) -> AttackResult:
         """Run the full multi-round GRINCH attack and verify the key."""
-        resolved: List[Tuple[int, int]] = []
+        resolved: List[Any] = []
         previous: Optional[RoundKeyEstimate] = None
         rounds: List[RoundAttackOutcome] = []
 
@@ -188,7 +196,7 @@ class GrinchAttack:
     # ------------------------------------------------------------------
 
     def attack_round(self, round_index: int,
-                     prior_keys: List[Tuple[int, int]],
+                     prior_keys: List[Any],
                      prior_estimate: Optional[RoundKeyEstimate]
                      ) -> RoundAttackOutcome:
         """Attack every segment of one round's AddRoundKey.
@@ -203,7 +211,8 @@ class GrinchAttack:
         candidates: List[Tuple[KeyBitPair, ...]] = []
         for segment in range(self.profile.segments):
             spec = set_target_bits(round_index, segment,
-                                   width=self.profile.width)
+                                   width=self.profile.width,
+                                   target=self.target)
             outcome = self._attack_segment(spec, prior_keys, prior_estimate)
             segments.append(outcome)
             candidates.append(outcome.key_pairs)
@@ -211,14 +220,15 @@ class GrinchAttack:
             round_index=round_index,
             segments=segments,
             estimate=RoundKeyEstimate(
-                round_index=round_index, pair_candidates=candidates
+                round_index=round_index, pair_candidates=candidates,
+                target=self.target,
             ),
         )
 
     def _attack_segment(self, spec: TargetSpec,
-                        prior_keys: List[Tuple[int, int]],
+                        prior_keys: List[Any],
                         prior_estimate: Optional[RoundKeyEstimate],
-                        expected_line: Optional[int] = None
+                        expected_line: Optional[ExpectedLine] = None
                         ) -> SegmentOutcome:
         """Steps 1-4 for one target, with hypothesis enumeration.
 
@@ -235,7 +245,9 @@ class GrinchAttack:
 
         ``expected_line`` switches the acceptance test to an exact match
         (used by the verification stage, where the target's own key bits
-        are already known).
+        are already known).  It may be a callable of the hypothesis for
+        ciphers whose verification key depends on the still-ambiguous
+        previous round (PRESENT); for GIFT it is a plain constant.
         """
         hypotheses = self._hypotheses_for(spec, prior_estimate)
         # With a unique hypothesis the target access is constant by
@@ -253,10 +265,17 @@ class GrinchAttack:
         retries = 0
         undecided: List[float] = []
         for hypothesis in hypotheses:
+            # Resolving the expected line consumes no attacker
+            # randomness, so per-hypothesis resolution cannot perturb
+            # the crafting stream.
+            line_for_hypothesis = (
+                expected_line(hypothesis) if callable(expected_line)
+                else expected_line
+            )
             if voting:
                 verdict = self._run_voting(
                     spec, prior_keys, prior_estimate, hypothesis,
-                    expected_line, confirmation
+                    line_for_hypothesis, confirmation
                 )
                 observations += verdict.observations
                 retries = max(retries, verdict.retries)
@@ -270,7 +289,7 @@ class GrinchAttack:
             else:
                 accepted = self._run_elimination(
                     spec, prior_keys, prior_estimate, hypothesis,
-                    expected_line, confirmation
+                    line_for_hypothesis, confirmation
                 )
                 if accepted is not None:
                     survivors.append((hypothesis, accepted[0], accepted[1]))
@@ -327,7 +346,7 @@ class GrinchAttack:
         return resolved
 
     def _run_elimination(self, spec: TargetSpec,
-                         prior_keys: List[Tuple[int, int]],
+                         prior_keys: List[Any],
                          prior_estimate: Optional[RoundKeyEstimate],
                          hypothesis: Dict[int, KeyBitPair],
                          expected_line: Optional[int],
@@ -399,7 +418,7 @@ class GrinchAttack:
         )
 
     def _run_voting(self, spec: TargetSpec,
-                    prior_keys: List[Tuple[int, int]],
+                    prior_keys: List[Any],
                     prior_estimate: Optional[RoundKeyEstimate],
                     hypothesis: Dict[int, KeyBitPair],
                     expected_line: Optional[int],
@@ -522,32 +541,43 @@ class GrinchAttack:
             return None  # inconsistent with predicted high bits
         return ordered[0], pairs
 
-    def _verification_stage(self, resolved: List[Tuple[int, int]],
+    def _verification_stage(self, resolved: List[Any],
                             estimate: RoundKeyEstimate) -> None:
         """Resolve last-round ambiguities using the verification round.
 
-        The verification round's key bits are derived from the (already
-        recovered) round-1 key by the GIFT key schedule (round 5 for
-        GIFT-64, round 3 for GIFT-128), so the attacker can predict the
-        exact target index — converged lines either match the
-        prediction or kill the hypothesis.
+        The verification round's key bits are derived from the
+        recovered rounds by the key schedule (round 5 for GIFT-64,
+        round 3 for GIFT-128 and PRESENT), so the attacker can predict
+        the exact target index — converged lines either match the
+        prediction or kill the hypothesis.  For GIFT the prediction
+        depends only on the fully resolved round-1 key and is one
+        constant line; for PRESENT it runs through the still-ambiguous
+        last-round estimate, so the line is recomputed per hypothesis.
         """
         verification_round = self.profile.verification_round
         for segment in range(self.profile.segments):
             if estimate.resolved:
                 return
             spec = set_target_bits(verification_round, segment,
-                                   width=self.profile.width)
+                                   width=self.profile.width,
+                                   target=self.target)
             if len(self._hypotheses_for(spec, estimate)) <= 1:
                 continue  # nothing left to learn from this target
-            u, v = self._verification_round_key(resolved, estimate)
-            v_bit = (v >> segment) & 1
-            u_bit = (u >> segment) & 1
-            line = self.monitor.line_for_index(
-                expected_index(spec, v_bit, u_bit)
-            )
+
+            def line_for(hypothesis: Dict[int, KeyBitPair],
+                         spec: TargetSpec = spec) -> int:
+                keys = list(resolved)
+                keys.append(estimate.guess_round_key(hypothesis))
+                verification_key = self.target.verification_round_key(keys)
+                bits = self.target.segment_key_bits(
+                    verification_key, spec.segment
+                )
+                return self.monitor.line_for_index(
+                    expected_index(spec, *bits)
+                )
+
             self._attack_segment(
-                spec, resolved, estimate, expected_line=line
+                spec, resolved, estimate, expected_line=line_for
             )
         if not estimate.resolved:
             raise InconsistentObservation(
@@ -584,9 +614,9 @@ class GrinchAttack:
         ``(1 - 1/lines) * ((lines - 1) / lines) ** accesses`` — the
         varying target must miss it and so must every other S-box access
         in the visible window (``segments`` per visible round; without
-        the flush, rounds ``1..attacked_round`` stay visible too).
-        Sizing the margin to ``confirmation_factor`` expected absence
-        events drives the false-accept probability to about
+        the flush, the rounds before the monitored one stay visible
+        too).  Sizing the margin to ``confirmation_factor`` expected
+        absence events drives the false-accept probability to about
         ``exp(-factor)``.
         """
         if self.config.confirmation_margin is not None:
@@ -597,19 +627,31 @@ class GrinchAttack:
         visible_rounds = self.config.probing_round
         mid_flush = getattr(self.runner, "mid_flush_supported", False)
         if not (self.config.use_flush and mid_flush):
-            visible_rounds += attacked_round
+            # Rounds 1 .. attacked_round + offset - 1 precede the
+            # monitored round; with probe_round_offset = 1 (GIFT) this
+            # is the historical ``+ attacked_round`` term.
+            visible_rounds += attacked_round + self._probe_round_offset - 1
         other = (lines - 1) / lines
         accesses = self.profile.segments * visible_rounds - 1
         p_absent = other * other ** accesses
         return math.ceil(self.config.confirmation_factor / p_absent)
 
-    def _verification_round_key(self, resolved: List[Tuple[int, int]],
-                                estimate: RoundKeyEstimate
-                                ) -> Tuple[int, int]:
-        # The verification round's key depends only on round 1's words,
-        # which are fully resolved by the time this stage runs.
-        first = resolved[0] if resolved else estimate.as_round_key()
-        return self.profile.verification_key(first)
+    @property
+    def _probe_round_offset(self) -> int:
+        """Rounds between an attacked round ``t`` and its monitored
+        S-box accesses (1 for GIFT, 0 for PRESENT)."""
+        return self.target.probe_round_offset
+
+    def _verification_round_key(self, resolved: List[Any],
+                                estimate: RoundKeyEstimate) -> Any:
+        # Best-guess verification key: resolved rounds plus the
+        # estimate's leading candidates for the rest.  (The verification
+        # stage itself recomputes per hypothesis; this helper serves
+        # callers that want the post-resolution value.)
+        keys = list(resolved)
+        while len(keys) < self.target.full_key_rounds:
+            keys.append(estimate.guess_round_key({}))
+        return self.target.verification_round_key(keys)
 
     def _charge_encryption(self) -> None:
         budget = self.config.max_total_encryptions
@@ -624,13 +666,14 @@ class GrinchAttack:
         victim = self.runner.victim
         plaintext = self.rng.getrandbits(self.profile.width)
         expected = self.runner.known_pair(plaintext)
-        reference = GiftCipher(master_key, self.profile.width,
-                               victim.rounds)
-        return reference.encrypt(plaintext) == expected
+        reference = self.target.reference_encrypt(
+            master_key, plaintext, rounds=victim.rounds
+        )
+        return reference == expected
 
     @staticmethod
     def _check_prior(round_index: int,
-                     prior_keys: List[Tuple[int, int]],
+                     prior_keys: List[Any],
                      prior_estimate: Optional[RoundKeyEstimate]) -> None:
         expected_resolved = max(0, round_index - 2)
         if len(prior_keys) != expected_resolved:
@@ -655,7 +698,7 @@ def _log2(value: int) -> int:
     return bits
 
 
-def recover_full_key(victim: TracedGiftCipher,
+def recover_full_key(victim: TracedVictim,
                      config: Optional[AttackConfig] = None) -> AttackResult:
     """Convenience wrapper: run a complete GRINCH key recovery."""
     return GrinchAttack(victim, config).recover_master_key()

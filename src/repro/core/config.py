@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..cache.geometry import CacheGeometry
 from ..channel.degradation import LOSSLESS, NO_NOISE, LossyChannel, NoiseModel
-from ..gift.lut import TableLayout
+from ..targets.layout import TableLayout
 
 #: Probe primitive names accepted by :class:`AttackConfig`.
 PROBE_STRATEGIES = ("flush_reload", "prime_probe", "flush_flush")

@@ -7,13 +7,18 @@ other segment is random — exactly Algorithm 2, extended to four pinned
 segments per Section III-C.
 
 For deeper targets (Step 5, "Update Plaintext Generation") the attacker
-builds the desired round-``t`` *input* the same way and then inverts
-rounds ``t-1 .. 1`` using the round keys recovered so far:
+builds the desired constrained state the same way and then inverts the
+earlier rounds using the round keys recovered so far; for GIFT:
 
     input_r = S⁻¹(P⁻¹(input_{r+1} XOR RK_r XOR C_r))
 
+The inversion is the cipher target's
+:meth:`~repro.targets.CipherTarget.invert_rounds` — each registered
+cipher knows how its own rounds unwind (PRESENT, for instance, XORs
+its key *before* the S-box layer and has no state-side constants).
+
 A wrong guess for a round key shows up as a constant XOR error on the
-achieved round-``t`` input; errors outside the four pinned segments land
+achieved constrained state; errors outside the four pinned segments land
 in positions that were random anyway, which is why hypothesis testing
 only needs to enumerate the candidates of the four source segments.
 """
@@ -23,18 +28,16 @@ from __future__ import annotations
 import random
 from typing import List, Sequence, Tuple
 
-from ..gift.cipher import round_key_mask, sub_cells
-from ..gift.constants import constant_mask
-from ..gift.permutation import inverse_permutation_for_width, permute
+from ..targets.registry import get_target
 from .target_bits import TargetSpec
 
 
 def build_target_round_input(spec: TargetSpec, rng: random.Random) -> int:
-    """Draw one constrained round-``t`` input for ``spec``.
+    """Draw one constrained target-round input for ``spec``.
 
-    The four source segments take a random element of their valid-input
-    list; the remaining segments take uniform random nibbles (Algorithm 2
-    lines 3-10).
+    The pinned source segments take a random element of their
+    valid-input list; the remaining segments take uniform random
+    nibbles (Algorithm 2 lines 3-10).
     """
     segments = spec.width // 4
     state = 0
@@ -54,15 +57,11 @@ def invert_rounds(state: int, round_keys: Sequence[Tuple[int, int]],
     ``round_keys[r - 1]`` is the ``(U, V)`` key of round ``r``.  Given the
     input of round ``len(round_keys) + 1``, returns the plaintext (the
     input of round 1) that produces it under those keys.
+
+    Kept as the module-level GIFT entry point; the generic path is
+    :meth:`repro.targets.CipherTarget.invert_rounds`.
     """
-    inverse_perm = inverse_permutation_for_width(width)
-    for round_index in range(len(round_keys), 0, -1):
-        u, v = round_keys[round_index - 1]
-        state ^= round_key_mask(u, v, width)
-        state ^= constant_mask(round_index, width)
-        state = permute(state, inverse_perm)
-        state = sub_cells(state, width, inverse=True)
-    return state
+    return get_target(f"gift{width}").invert_rounds(state, round_keys)
 
 
 class PlaintextCrafter:
@@ -73,14 +72,15 @@ class PlaintextCrafter:
     spec:
         The target description from Algorithm 1.
     prior_round_keys:
-        ``(U, V)`` keys of rounds ``1 .. t-1`` as known/hypothesised by
-        the attacker (empty for a round-1 target).
+        Keys of rounds ``1 .. t-1`` as known/hypothesised by the
+        attacker (empty for a round-1 target), in the target's native
+        round-key representation.
     rng:
         Attacker randomness for segment choices.
     """
 
     def __init__(self, spec: TargetSpec,
-                 prior_round_keys: Sequence[Tuple[int, int]],
+                 prior_round_keys: Sequence,
                  rng: random.Random) -> None:
         if len(prior_round_keys) != spec.round_index - 1:
             raise ValueError(
@@ -95,6 +95,10 @@ class PlaintextCrafter:
     def craft(self) -> int:
         """Return one crafted plaintext."""
         target_input = build_target_round_input(self.spec, self._rng)
+        if self.spec.target is not None:
+            return self.spec.target.invert_rounds(
+                target_input, self.prior_round_keys
+            )
         return invert_rounds(target_input, self.prior_round_keys,
                              self.spec.width)
 

@@ -30,7 +30,7 @@ from ..cache.multilevel import (
 )
 from ..channel.observer import ObservationChannel
 from ..channel.transport import ATTACKER_CORE, VICTIM_CORE, SharedL2Transport
-from ..gift.lut import TracedGiftCipher
+from ..targets.protocol import TracedVictim
 from .config import AttackConfig
 
 __all__ = [
@@ -44,7 +44,7 @@ __all__ = [
 class CrossCoreRunner(ObservationChannel):
     """Drop-in observation channel whose probes go through a shared L2."""
 
-    def __init__(self, victim: TracedGiftCipher, config: AttackConfig,
+    def __init__(self, victim: TracedVictim, config: AttackConfig,
                  hierarchy: Optional[TwoLevelHierarchy] = None,
                  rng: Optional[random.Random] = None) -> None:
         if config.probe_strategy == "prime_probe":
@@ -67,7 +67,7 @@ class CrossCoreRunner(ObservationChannel):
         self.hierarchy = hierarchy
 
 
-def make_cross_core_runner(victim: TracedGiftCipher, config: AttackConfig,
+def make_cross_core_runner(victim: TracedVictim, config: AttackConfig,
                            inclusion: InclusionPolicy
                            ) -> CrossCoreRunner:
     """Build a runner over a default two-core hierarchy.

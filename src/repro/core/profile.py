@@ -1,153 +1,24 @@
-"""Width-specific attack profiles for the GIFT family.
+"""Width-specific GIFT attack profiles (compatibility re-export).
 
-The GRINCH paper develops the attack against GIFT-64; GIFT-128 (the
-variant inside GIFT-COFB and most NIST LWC candidates built on GIFT) is
-structurally attackable the same way, but the bookkeeping differs:
-
-================================  ==========  ===========
-property                          GIFT-64     GIFT-128
-================================  ==========  ===========
-state segments                    16          32
-nibble bit receiving ``V``        0           1
-nibble bit receiving ``U``        1           2
-round-key width                   32 bits     64 bits
-rounds for the full 128-bit key   4           2
-verification round (key known)    5           3
-================================  ==========  ===========
-
-The verification-round property comes from the shared key schedule:
-GIFT-64's round-5 key is a rotation of round 1's, and GIFT-128's
-round-3 key is ``U3 = rot(V1)``, ``V3 = U1`` — in both cases fully
-predictable once the first attacked round is recovered.
-
-A :class:`GiftAttackProfile` captures these facts so the rest of
-:mod:`repro.core` stays width-agnostic.
+The profile implementation moved to :mod:`repro.targets.gift` when the
+pipeline was generalised over :class:`~repro.targets.CipherTarget`: the
+target layer may not import ``repro.core``, and the profile is GIFT
+structural bookkeeping, so it lives with the GIFT target.  This module
+keeps the historical import path alive for downstream code and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
-
-
-def _rotate_right_16(word: int, amount: int) -> int:
-    amount %= 16
-    return ((word >> amount) | (word << (16 - amount))) & 0xFFFF
-
-
-@dataclass(frozen=True)
-class GiftAttackProfile:
-    """Structural facts GRINCH needs about one GIFT variant."""
-
-    width: int
-    v_offset: int
-    u_offset: int
-    full_key_rounds: int
-    verification_round: int
-
-    @property
-    def segments(self) -> int:
-        """Number of 4-bit state segments."""
-        return self.width // 4
-
-    @property
-    def key_offsets(self) -> Tuple[int, int]:
-        """Nibble bit offsets carrying ``(V, U)`` key bits."""
-        return (self.v_offset, self.u_offset)
-
-    @property
-    def free_offsets(self) -> Tuple[int, ...]:
-        """Nibble bit offsets not carrying key bits."""
-        return tuple(
-            offset for offset in range(4)
-            if offset not in (self.v_offset, self.u_offset)
-        )
-
-    @property
-    def bits_per_round(self) -> int:
-        """Master-key bits recovered per attacked round."""
-        return 2 * self.segments
-
-    # ------------------------------------------------------------------
-    # Master-key bookkeeping
-    # ------------------------------------------------------------------
-
-    def master_key_bits(self, round_index: int, segment: int
-                        ) -> Tuple[int, int]:
-        """Master-key bit indices ``(v_bit, u_bit)`` of one target.
-
-        Only defined for the attacked rounds (``1..full_key_rounds``),
-        where round keys are fresh master-key material.
-        """
-        if not 1 <= round_index <= self.full_key_rounds:
-            raise ValueError(
-                f"GIFT-{self.width} master-key quarters align with rounds "
-                f"1-{self.full_key_rounds}, got round {round_index}"
-            )
-        if not 0 <= segment < self.segments:
-            raise ValueError(
-                f"GIFT-{self.width} has {self.segments} segments, "
-                f"got {segment}"
-            )
-        if self.width == 64:
-            base = 32 * (round_index - 1)
-            return base + segment, base + 16 + segment
-        # GIFT-128: RK1 = (U=k5||k4, V=k1||k0); RK2 = (U=k7||k6, V=k3||k2).
-        if round_index == 1:
-            return segment, 64 + segment
-        return 32 + segment, 96 + segment
-
-    def assemble_master_key(self, round_key_list: Sequence[Tuple[int, int]]
-                            ) -> int:
-        """Rebuild the 128-bit master key from the attacked round keys."""
-        if len(round_key_list) != self.full_key_rounds:
-            raise ValueError(
-                f"GIFT-{self.width} needs {self.full_key_rounds} round "
-                f"keys, got {len(round_key_list)}"
-            )
-        master = 0
-        for round_index, (u, v) in enumerate(round_key_list, start=1):
-            for bit in range(2 * self.segments // 2):
-                v_pos, u_pos = self.master_key_bits(round_index, bit)
-                master |= ((v >> bit) & 1) << v_pos
-                master |= ((u >> bit) & 1) << u_pos
-        return master
-
-    # ------------------------------------------------------------------
-    # Verification round
-    # ------------------------------------------------------------------
-
-    def verification_key(self, first_round_key: Tuple[int, int]
-                         ) -> Tuple[int, int]:
-        """The verification round's ``(U, V)``, from the round-1 key.
-
-        GIFT-64: ``RK5 = (U1 >>> 2, V1 >>> 12)`` (16-bit rotations).
-        GIFT-128: ``U3 = (v1_hi >>> 2) || (v1_lo >>> 12)``, ``V3 = U1``.
-        """
-        u1, v1 = first_round_key
-        if self.width == 64:
-            return (_rotate_right_16(u1, 2), _rotate_right_16(v1, 12))
-        v1_high = (v1 >> 16) & 0xFFFF
-        v1_low = v1 & 0xFFFF
-        u3 = (_rotate_right_16(v1_high, 2) << 16) | _rotate_right_16(v1_low, 12)
-        return (u3, u1)
-
-
-PROFILE_64 = GiftAttackProfile(
-    width=64, v_offset=0, u_offset=1,
-    full_key_rounds=4, verification_round=5,
+from ..targets.gift import (
+    GiftAttackProfile,
+    PROFILE_64,
+    PROFILE_128,
+    profile_for_width,
 )
 
-PROFILE_128 = GiftAttackProfile(
-    width=128, v_offset=1, u_offset=2,
-    full_key_rounds=2, verification_round=3,
-)
-
-
-def profile_for_width(width: int) -> GiftAttackProfile:
-    """Return the attack profile for a GIFT state width."""
-    if width == 64:
-        return PROFILE_64
-    if width == 128:
-        return PROFILE_128
-    raise ValueError(f"GIFT only defines 64- and 128-bit states, got {width}")
+__all__ = [
+    "GiftAttackProfile",
+    "PROFILE_64",
+    "PROFILE_128",
+    "profile_for_width",
+]

@@ -10,9 +10,10 @@ are impossible — with wide lines this filter is what keeps the
 candidate count at the paper's "maximum number of 4" (Section III-D),
 and an empty filter result exposes a wrong earlier-round hypothesis.
 
-The key bits sit at nibble offsets 0/1 for GIFT-64 and 1/2 for
-GIFT-128; everything here reads the offsets from the
-:class:`~repro.core.target_bits.TargetSpec`.
+The key bits sit at nibble offsets 0/1 for GIFT-64, 1/2 for GIFT-128
+and 0..3 for PRESENT; everything here reads the offsets from the
+:class:`~repro.core.target_bits.TargetSpec`, in whatever number the
+target declares.
 """
 
 from __future__ import annotations
@@ -22,8 +23,11 @@ from typing import Tuple
 from ..channel.monitor import SboxMonitor
 from .target_bits import TargetSpec
 
-#: A candidate for one segment's two round-key bits: ``(v_bit, u_bit)``.
-KeyBitPair = Tuple[int, int]
+#: A candidate for one segment's round-key bits, in the target's
+#: ``key_offsets`` order: ``(v_bit, u_bit)`` for GIFT, four bits for
+#: PRESENT.  (The historical name is kept — GIFT's candidates are
+#: pairs — but the tuple length follows the target.)
+KeyBitPair = Tuple[int, ...]
 
 
 def indices_consistent_with_prediction(spec: TargetSpec,
@@ -42,32 +46,44 @@ def indices_consistent_with_prediction(spec: TargetSpec,
 
 def key_pairs_from_line(spec: TargetSpec, monitor: SboxMonitor,
                         line: int) -> Tuple[KeyBitPair, ...]:
-    """Candidate ``(v, u)`` key-bit pairs implied by a converged ``line``.
+    """Candidate key-bit tuples implied by a converged ``line``.
 
     Empty result means the observation is inconsistent with the
     attacker's predictions — the caller treats it like a contradiction.
     """
-    v_offset, u_offset = spec.key_offsets
+    offsets = spec.key_offsets
     pairs = {
-        (
-            ((index >> v_offset) & 1) ^ 1,
-            ((index >> u_offset) & 1) ^ 1,
-        )
+        tuple(((index >> offset) & 1) ^ 1 for offset in offsets)
         for index in indices_consistent_with_prediction(spec, monitor, line)
     }
     return tuple(sorted(pairs))
 
 
-def expected_index(spec: TargetSpec, v_bit: int, u_bit: int) -> int:
+def expected_index(spec: TargetSpec, *key_bits: int,
+                   v_bit: int = None, u_bit: int = None) -> int:
     """The S-box index the target access *will* use, given the key bits.
 
-    Used by the verification stage (where the target round's key bits
-    are already determined by earlier recoveries) and by tests.
+    ``key_bits`` follow the spec's ``key_offsets`` order (``v, u`` for
+    GIFT).  Used by the verification stage (where the target round's
+    key bits are already determined by earlier recoveries) and by tests.
+    The GIFT-era ``v_bit=``/``u_bit=`` keywords remain accepted for
+    two-offset targets.
     """
-    if v_bit not in (0, 1) or u_bit not in (0, 1):
-        raise ValueError(f"key bits must be 0/1, got ({v_bit}, {u_bit})")
-    v_offset, u_offset = spec.key_offsets
-    index = ((1 ^ v_bit) << v_offset) | ((1 ^ u_bit) << u_offset)
+    if v_bit is not None or u_bit is not None:
+        if key_bits or v_bit is None or u_bit is None:
+            raise ValueError(
+                "pass key bits either positionally or as v_bit/u_bit"
+            )
+        key_bits = (v_bit, u_bit)
+    if len(key_bits) != len(spec.key_offsets):
+        raise ValueError(
+            f"expected {len(spec.key_offsets)} key bits, got {len(key_bits)}"
+        )
+    if any(bit not in (0, 1) for bit in key_bits):
+        raise ValueError(f"key bits must be 0/1, got {key_bits}")
+    index = 0
+    for offset, bit in zip(spec.key_offsets, key_bits):
+        index |= (1 ^ bit) << offset
     for offset, value in spec.free_bit_predictions:
         index |= value << offset
     return index

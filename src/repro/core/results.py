@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..targets.protocol import CipherTarget
 from .recover import KeyBitPair
 
 
@@ -46,20 +47,27 @@ class SegmentOutcome:
 class RoundKeyEstimate:
     """Attacker's knowledge of one round key: per-segment candidates.
 
-    ``pair_candidates[s]`` holds the surviving ``(v, u)`` bit pairs for
-    segment ``s``.  With 1-word cache lines every tuple is a singleton;
-    wider lines leave 2 or 4 candidates until a later stage resolves
-    them (Section III-D).
+    ``pair_candidates[s]`` holds the surviving key-bit tuples for
+    segment ``s`` (``(v, u)`` pairs for GIFT, 4-bit tuples for
+    PRESENT), in the target's ``key_offsets`` order.  With 1-word cache
+    lines every tuple is a singleton; wider lines leave several
+    candidates until a later stage resolves them (Section III-D).
+
+    ``target`` selects the round-key representation for
+    :meth:`guess_round_key`; ``None`` keeps the historical GIFT
+    ``(U, V)`` packing.
     """
 
     round_index: int
     pair_candidates: List[Tuple[KeyBitPair, ...]]
+    target: Optional[CipherTarget] = field(default=None, compare=False,
+                                           repr=False)
 
     def __post_init__(self) -> None:
         if len(self.pair_candidates) not in (16, 32):
             raise ValueError(
-                f"GIFT round keys cover 16 (GIFT-64) or 32 (GIFT-128) "
-                f"segments, got {len(self.pair_candidates)}"
+                f"round keys cover 16 (64-bit state) or 32 (128-bit "
+                f"state) segments, got {len(self.pair_candidates)}"
             )
         for segment, candidates in enumerate(self.pair_candidates):
             if not candidates:
@@ -103,11 +111,10 @@ class RoundKeyEstimate:
             pair for pair in current if pair in pairs
         )
 
-    def as_round_key(self) -> Tuple[int, int]:
-        """Return the resolved ``(U, V)`` round key.
+    def as_round_key(self) -> Any:
+        """Return the resolved round key (``(U, V)`` for GIFT).
 
-        Only valid when :attr:`resolved`; ``v`` bits sit on state bits
-        ``4s`` and ``u`` bits on ``4s + 1``.
+        Only valid when :attr:`resolved`.
         """
         if not self.resolved:
             raise RuntimeError(
@@ -116,21 +123,23 @@ class RoundKeyEstimate:
             )
         return self.guess_round_key({})
 
-    def guess_round_key(self, overrides: Dict[int, KeyBitPair]
-                        ) -> Tuple[int, int]:
-        """Assemble a concrete ``(U, V)`` guess.
+    def guess_round_key(self, overrides: Dict[int, KeyBitPair]) -> Any:
+        """Assemble a concrete round-key guess.
 
         Unresolved segments default to their first candidate unless
         ``overrides`` pins them; errors in segments outside a target's
         source cone are harmless (they only perturb already-random
         plaintext segments), which is what makes this default sound.
         """
+        bits = [
+            overrides.get(segment, self.pair_candidates[segment][0])
+            for segment in range(self.segments)
+        ]
+        if self.target is not None:
+            return self.target.round_key_from_segment_bits(bits)
         u = 0
         v = 0
-        for segment in range(self.segments):
-            v_bit, u_bit = overrides.get(
-                segment, self.pair_candidates[segment][0]
-            )
+        for segment, (v_bit, u_bit) in enumerate(bits):
             u |= u_bit << segment
             v |= v_bit << segment
         return u, v

@@ -28,7 +28,7 @@ from ..cache.geometry import CacheGeometry
 from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
 from ..core.errors import AttackError
-from ..gift.lut import TracedGift64, TracedGiftCipher
+from ..targets.gift import TracedGift64, TracedGiftCipher
 from ..seeding import derive_rng
 from .hardened_schedule import HardenedKeyScheduleGift64
 from .reshaped_sbox import RECOMMENDED_GEOMETRY, ReshapedSboxGift64

@@ -26,9 +26,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..gift.keyschedule import round_keys as standard_round_keys
-from ..gift.lut import TableLayout, TracedGiftCipher
-from ..gift.sbox import GIFT_SBOX
+from ..targets.gift import GIFT_SBOX, TracedGiftCipher, standard_round_keys
+from ..targets.layout import TableLayout
 from ..staticcheck.secrets import secret_params
 
 

@@ -16,9 +16,9 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..cache.geometry import CacheGeometry
-from ..gift.lut import TableLayout, TracedGiftCipher
-from ..gift.sbox import GIFT_SBOX
-from ..gift.trace import EncryptionTrace, MemoryAccess
+from ..targets.gift import GIFT_SBOX, TracedGiftCipher
+from ..targets.layout import TableLayout
+from ..targets.trace import EncryptionTrace, MemoryAccess
 from ..staticcheck.equivalence import declare_table_layout
 from ..staticcheck.secrets import secret_params
 

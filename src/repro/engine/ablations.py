@@ -16,7 +16,7 @@ from ..cache.setassoc import SetAssociativeCache
 from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
 from ..channel import NoiseModel
-from ..gift.lut import TracedGift64
+from ..targets.gift import TracedGift64
 from ..staticcheck import declassify
 from .artifact import trial_summary
 from .params import Param, spec
@@ -327,7 +327,7 @@ def _taxonomy_plan(params: Mapping[str, Any]) -> List[CellPlan]:
 
 def _taxonomy_trial(params: Mapping[str, Any], cell: Dict[str, Any],
                     trial_index: int, seed: int) -> Dict[str, Any]:
-    from ..gift import round_keys
+    from ..targets.gift import round_keys
     from ..variants import TimeDrivenAttack, TraceDrivenAttack
 
     # One shared victim key per sweep so all three channels answer the
@@ -405,7 +405,7 @@ def _gift128_plan(params: Mapping[str, Any]) -> List[CellPlan]:
 
 def _gift128_trial(params: Mapping[str, Any], cell: Dict[str, Any],
                    trial_index: int, seed: int) -> Dict[str, Any]:
-    from ..gift.lut import TracedGift128
+    from ..targets.gift import TracedGift128
 
     planted = derive_key(128, seed)
     victim = TracedGift128(planted)

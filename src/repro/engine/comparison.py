@@ -37,7 +37,7 @@ from ..core.errors import (
     LowConfidenceError,
 )
 from ..core.profile import PROFILE_64
-from ..gift.lut import TracedGift64
+from ..targets.gift import TracedGift64
 from ..seeding import derive_key
 from ..staticcheck import declassify
 from .artifact import trial_summary

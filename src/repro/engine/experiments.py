@@ -25,7 +25,7 @@ from ..countermeasures import (
     evaluate_hardened_schedule,
     evaluate_reshaped_sbox,
 )
-from ..gift.lut import TracedGift64
+from ..targets.gift import TracedGift64
 from ..soc.clock import PAPER_FREQUENCIES_HZ, ClockDomain
 from ..soc.platform import MPSoC, SingleCoreSoC
 from ..staticcheck import declassify
@@ -359,7 +359,7 @@ def _full_key_config(params: Mapping[str, Any], seed: int) -> AttackConfig:
 
 def _full_key_trial(params: Mapping[str, Any], cell: Dict[str, Any],
                     trial_index: int, seed: int) -> Dict[str, Any]:
-    from ..gift.lut import TracedGift128
+    from ..targets.gift import TracedGift128
 
     victim_cls = TracedGift64 if params["width"] == 64 else TracedGift128
     planted = derive_key(128, seed)

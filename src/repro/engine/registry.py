@@ -96,7 +96,13 @@ def _ensure_builtins() -> None:
     # first lookup so repro.core can import repro.engine.seeding without
     # pulling the experiment definitions (which import repro.core) back
     # in at module-import time.
-    from . import ablations, comparison, experiments, robustness  # noqa: F401
+    from . import (  # noqa: F401
+        ablations,
+        comparison,
+        experiments,
+        multitarget,
+        robustness,
+    )
 
 
 def get(name: str) -> Experiment:

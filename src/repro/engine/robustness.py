@@ -36,7 +36,7 @@ from ..core.errors import (
 )
 from ..channel import LossyChannel
 from ..core.profile import PROFILE_64
-from ..gift.lut import TracedGift64
+from ..targets.gift import TracedGift64
 from ..staticcheck import declassify
 from .artifact import confidence_summary, trial_summary
 from .params import Param, spec

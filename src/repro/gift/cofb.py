@@ -1,0 +1,178 @@
+"""GIFT-COFB: the COFB authenticated-encryption mode over GIFT-128.
+
+GIFT-COFB (Banik et al., NIST LWC finalist) wraps GIFT-128 in the
+COmbined FeedBack mode: a 128-bit nonce is encrypted once to start the
+chain (``Y0 = E_K(N)``), a 64-bit secret mask ``L = trunc64(Y0)`` is
+derived from that first output, and every subsequent block-cipher input
+mixes the previous output through the feedback function ``G`` with a
+GF(2^64)-doubled/tripled mask.
+
+The mode matters to GRINCH for one structural reason, analysed in
+``docs/targets.md``: the *nonce* is the only block-cipher input the
+attacker chooses directly.  Every interior block input is whitened by
+``G(Y_{i-1})`` and the secret mask ``L``, both unknown at crafting
+time, so Algorithm 2's crafted inputs can only be aimed at the first
+call — which is exactly a full GIFT-128 encryption of chosen data and
+therefore carries the complete GRINCH attack through the nonce channel.
+
+Block values are 128-bit integers with the usual most-significant-bits-
+first reading (``Y1`` = top half, ``Y2`` = bottom half).  No official
+byte-level test vectors are claimed: the implementation is validated by
+seal/open round trips and structural properties, not known answers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .cipher import Gift128
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+#: Reduction constant of GF(2^64) as x^64 + x^4 + x^3 + x + 1.
+_GF64_POLY = 0x1B
+
+
+def double_mask(mask: int) -> int:
+    """Multiply ``mask`` by x in GF(2^64)."""
+    doubled = (mask << 1) & _MASK64
+    if mask >> 63:
+        doubled ^= _GF64_POLY
+    return doubled
+
+
+def triple_mask(mask: int) -> int:
+    """Multiply ``mask`` by (x + 1) in GF(2^64)."""
+    return double_mask(mask) ^ mask
+
+
+def _rotl64(word: int, amount: int) -> int:
+    amount %= 64
+    return ((word << amount) | (word >> (64 - amount))) & _MASK64
+
+
+def feedback(block: int) -> int:
+    """COFB's feedback function ``G``: swap the 64-bit halves and
+    rotate the (previously top) half left by one."""
+    top = block >> 64
+    bottom = block & _MASK64
+    return (bottom << 64) | _rotl64(top, 1)
+
+
+def _pad_block(block: int, bits: int) -> int:
+    """``10*`` padding of a partial block into a full 128-bit block."""
+    if bits >= 128:
+        return block
+    return (block << (128 - bits)) | (1 << (127 - bits))
+
+
+def _split_blocks(data: bytes) -> Tuple[List[int], List[int]]:
+    """Split ``data`` into 128-bit blocks; returns (blocks, bit-lengths)."""
+    blocks: List[int] = []
+    lengths: List[int] = []
+    for offset in range(0, len(data), 16):
+        chunk = data[offset:offset + 16]
+        blocks.append(int.from_bytes(chunk, "big"))
+        lengths.append(8 * len(chunk))
+    return blocks, lengths
+
+
+class GiftCofb:
+    """GIFT-COFB authenticated encryption with a 128-bit key."""
+
+    #: GIFT-COFB fixes the block cipher to full-round GIFT-128.
+    rounds = 40
+
+    def __init__(self, master_key: int) -> None:
+        self._cipher = Gift128(master_key, rounds=self.rounds)
+        self.master_key = master_key
+
+    # ------------------------------------------------------------------
+    # Mode internals
+    # ------------------------------------------------------------------
+
+    def first_block(self, nonce: int) -> int:
+        """``Y0 = E_K(N)`` — the one block-cipher call whose input the
+        attacker controls bit-for-bit (the GRINCH crafting channel)."""
+        if not 0 <= nonce < (1 << 128):
+            raise ValueError("GIFT-COFB nonces are 128-bit integers")
+        return self._cipher.encrypt(nonce)
+
+    def _chain(self, nonce: int, associated_data: bytes,
+               message_blocks: List[int], message_lengths: List[int],
+               decrypting: bool) -> Tuple[List[int], int]:
+        """Run the COFB chain; returns (output blocks, tag)."""
+        y = self.first_block(nonce)
+        mask = y >> 64
+
+        ad_blocks, ad_lengths = _split_blocks(associated_data)
+        if not ad_blocks:
+            # Empty AD is processed as one padded all-zero block.
+            ad_blocks, ad_lengths = [0], [0]
+        for index, (block, bits) in enumerate(zip(ad_blocks, ad_lengths)):
+            last = index == len(ad_blocks) - 1
+            if last:
+                mask = triple_mask(mask)
+                if bits < 128:
+                    mask = triple_mask(mask)
+                if not message_blocks:
+                    mask = triple_mask(mask)
+                    mask = triple_mask(mask)
+            else:
+                mask = double_mask(mask)
+            x = _pad_block(block, bits) ^ feedback(y) ^ (mask << 64)
+            y = self._cipher.encrypt(x)
+
+        outputs: List[int] = []
+        for index, (block, bits) in enumerate(
+                zip(message_blocks, message_lengths)):
+            last = index == len(message_blocks) - 1
+            if last:
+                mask = triple_mask(mask)
+                if bits < 128:
+                    mask = triple_mask(mask)
+            else:
+                mask = double_mask(mask)
+            keystream = y >> (128 - bits) if bits < 128 else y
+            output = block ^ keystream
+            outputs.append(output)
+            plaintext_block = output if decrypting else block
+            x = (_pad_block(plaintext_block, bits)
+                 ^ feedback(y) ^ (mask << 64))
+            y = self._cipher.encrypt(x)
+
+        return outputs, y & _MASK128
+
+    # ------------------------------------------------------------------
+    # AEAD surface
+    # ------------------------------------------------------------------
+
+    def seal(self, nonce: int, associated_data: bytes,
+             plaintext: bytes) -> Tuple[bytes, int]:
+        """Encrypt and authenticate; returns ``(ciphertext, tag)``."""
+        blocks, lengths = _split_blocks(plaintext)
+        outputs, tag = self._chain(nonce, associated_data, blocks,
+                                   lengths, decrypting=False)
+        ciphertext = b"".join(
+            output.to_bytes(bits // 8, "big")
+            for output, bits in zip(outputs, lengths)
+        )
+        return ciphertext, tag
+
+    def open(self, nonce: int, associated_data: bytes,
+             ciphertext: bytes, tag: int) -> bytes:
+        """Verify and decrypt; raises ``ValueError`` on a bad tag."""
+        blocks, lengths = _split_blocks(ciphertext)
+        outputs, expected_tag = self._chain(nonce, associated_data,
+                                            blocks, lengths,
+                                            decrypting=True)
+        if expected_tag != tag:
+            raise ValueError("GIFT-COFB tag verification failed")
+        return b"".join(
+            output.to_bytes(bits // 8, "big")
+            for output, bits in zip(outputs, lengths)
+        )
+
+
+__all__ = ["GiftCofb", "double_mask", "triple_mask", "feedback"]

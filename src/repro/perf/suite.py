@@ -33,7 +33,7 @@ from ..channel.observer import ObservationChannel
 from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
 from ..core.voting import VotingEliminator, VotingPolicy
-from ..gift.lut import TracedGift64, TracedGift128
+from ..targets.gift import TracedGift64, TracedGift128
 from ..seeding import derive_key, derive_rng
 from .bench import BenchResult, measure
 

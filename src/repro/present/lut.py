@@ -1,0 +1,221 @@
+"""Table-based (lookup-table) PRESENT victim with memory tracing.
+
+Mirrors :mod:`repro.gift.lut` for GIFT's ancestor: the S-box layer is
+one table load per segment per round and the P-layer is one load per
+segment from a precomputed scatter table.  The structural difference
+that matters for GRINCH is *where* the key enters: PRESENT XORs the
+full 64-bit round key into the state *before* the S-box layer, so the
+monitored S-box index of a round-``t`` target lives in round ``t``
+itself (``probe_round_offset = 0``) and even round 1's indices are
+key-dependent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..staticcheck.secrets import secret_params
+from ..targets.layout import TableLayout
+from ..targets.trace import EncryptionTrace, MemoryAccess
+from .cipher import (
+    PLAYER,
+    PRESENT_ROUNDS,
+    PRESENT_SBOX,
+    PRESENT_SBOX_INV,
+    _key_schedule_80,
+    _key_schedule_128,
+)
+
+
+def _build_scatter_table() -> Tuple[Tuple[int, ...], ...]:
+    """Precompute the P-layer as ``table[segment][nibble] -> scattered
+    bits`` (the LUT realisation of PRESENT's bit permutation)."""
+    table = []
+    for segment in range(16):
+        row = []
+        for nibble in range(16):
+            scattered = 0
+            for bit in range(4):
+                if (nibble >> bit) & 1:
+                    scattered |= 1 << PLAYER[4 * segment + bit]
+            row.append(scattered)
+        table.append(tuple(row))
+    return tuple(table)
+
+
+_SCATTER_TABLE = _build_scatter_table()
+
+#: Fused S-box/scatter: ``fused[seg][x] = scatter[seg][SBOX[x]]`` where
+#: ``x`` is the (already key-XORed) input nibble.
+_FUSED_SBOX_SCATTER = tuple(
+    tuple(row[PRESENT_SBOX[x]] for x in range(16)) for row in _SCATTER_TABLE
+)
+
+
+class TracedPresent:
+    """LUT-based PRESENT that records every table load it performs.
+
+    Functionally identical to :class:`repro.present.cipher.Present`
+    (cross-checked against the official CHES 2007 vectors in the test
+    suite).  When constructed with fewer than the full 31 rounds, the
+    post-whitening key of the *next* schedule entry is still applied so
+    partial-round victims stay invertible and reference-checkable.
+    """
+
+    #: Registry name consumed by ``repro.targets.resolve_target_for``.
+    attack_target = "present80"
+    #: The round key enters before the monitored S-box layer.
+    probe_round_offset = 0
+
+    def __init__(self, master_key: int, key_bits: int = 80,
+                 rounds: int = PRESENT_ROUNDS,
+                 layout: TableLayout = TableLayout()) -> None:
+        if not 1 <= rounds <= PRESENT_ROUNDS:
+            raise ValueError(
+                f"round count must be in [1, {PRESENT_ROUNDS}], got {rounds}"
+            )
+        if key_bits == 80:
+            self._round_keys = _key_schedule_80(master_key)
+        elif key_bits == 128:
+            self._round_keys = _key_schedule_128(master_key)
+        else:
+            raise ValueError(
+                f"PRESENT keys are 80 or 128 bits, got {key_bits}"
+            )
+        if key_bits == 128:
+            self.attack_target = "present128"
+        self.width = 64
+        self.key_bits = key_bits
+        self.rounds = rounds
+        self.master_key = master_key
+        self.layout = layout
+        self._segments = 16
+        self._scatter = _SCATTER_TABLE
+        self._fused_sbox_scatter = _FUSED_SBOX_SCATTER
+        self._sbox_address_table: Tuple[int, ...] = tuple(
+            layout.sbox_addresses()
+        )
+        self._perm_address_table: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(layout.perm_address(segment, nibble, self._segments)
+                  for nibble in range(16))
+            for segment in range(self._segments)
+        )
+
+    @property
+    def round_keys(self) -> List[int]:
+        """The full schedule (32 entries for 31 rounds)."""
+        return self._round_keys
+
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt one block on the trace-free fast path."""
+        if not 0 <= plaintext < (1 << 64):
+            raise ValueError("PRESENT blocks are 64-bit integers")
+        state = plaintext
+        fused = self._fused_sbox_scatter
+        keys = self._round_keys
+        for round_index in range(self.rounds):
+            state ^= keys[round_index]
+            permuted = 0
+            for segment in range(16):
+                permuted |= fused[segment][(state >> (4 * segment)) & 0xF]
+            state = permuted
+        return state ^ keys[self.rounds]
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt one block (not traced)."""
+        if not 0 <= ciphertext < (1 << 64):
+            raise ValueError("PRESENT blocks are 64-bit integers")
+        from .cipher import _p_layer, _sbox_layer
+        state = ciphertext ^ self._round_keys[self.rounds]
+        for round_index in range(self.rounds - 1, -1, -1):
+            state = _p_layer(state, inverse=True)
+            state = _sbox_layer(state, inverse=True)
+            state ^= self._round_keys[round_index]
+        return state
+
+    def encrypt_traced(self, plaintext: int,
+                       max_rounds: Optional[int] = None) -> EncryptionTrace:
+        """Encrypt one block, recording all table loads.
+
+        As in the GIFT victim, a bounded ``max_rounds`` leaves the
+        post-``max_rounds`` state in ``ciphertext`` (no final key XOR).
+        """
+        if not 0 <= plaintext < (1 << 64):
+            raise ValueError("PRESENT blocks are 64-bit integers")
+        limit = self.rounds if max_rounds is None else max_rounds
+        if not 1 <= limit <= self.rounds:
+            raise ValueError(f"max_rounds must be in [1, {self.rounds}]")
+        trace = EncryptionTrace(plaintext=plaintext, ciphertext=0)
+        state = plaintext
+        for round_index in range(1, limit + 1):
+            state ^= self._round_keys[round_index - 1]
+            state = self._sbox_layer_traced(state, round_index, trace)
+            state = self._p_layer_traced(state, round_index, trace)
+        if limit == self.rounds:
+            state ^= self._round_keys[self.rounds]
+        trace.ciphertext = state
+        return trace
+
+    def sbox_indices_by_round(self, plaintext: int, max_rounds: int
+                              ) -> List[List[int]]:
+        """Per-round S-box indices (the key-XORed nibbles), without
+        trace-object overhead — the fast observation path."""
+        if not 0 <= plaintext < (1 << 64):
+            raise ValueError("PRESENT blocks are 64-bit integers")
+        if not 1 <= max_rounds <= self.rounds:
+            raise ValueError(f"max_rounds must be in [1, {self.rounds}]")
+        indices_by_round: List[List[int]] = []
+        state = plaintext
+        fused = self._fused_sbox_scatter
+        for round_index in range(max_rounds):
+            state ^= self._round_keys[round_index]
+            indices = [(state >> (4 * segment)) & 0xF for segment in range(16)]
+            indices_by_round.append(indices)
+            permuted = 0
+            for segment, index in enumerate(indices):
+                permuted |= fused[segment][index]
+            state = permuted
+        return indices_by_round
+
+    @secret_params("state")
+    def _sbox_layer_traced(self, state: int, round_index: int,
+                           trace: EncryptionTrace) -> int:
+        # AddRoundKey has already happened: every index below is
+        # key-dependent — round 1 included, unlike GIFT.
+        result = 0
+        addresses = self._sbox_address_table
+        for segment in range(self._segments):
+            index = (state >> (4 * segment)) & 0xF
+            trace.append(
+                MemoryAccess(
+                    address=addresses[index],
+                    round_index=round_index,
+                    segment=segment,
+                    table="sbox",
+                    index=index,
+                )
+            )
+            result |= PRESENT_SBOX[index] << (4 * segment)
+        return result
+
+    @secret_params("state")
+    def _p_layer_traced(self, state: int, round_index: int,
+                        trace: EncryptionTrace) -> int:
+        result = 0
+        addresses = self._perm_address_table
+        for segment in range(self._segments):
+            nibble = (state >> (4 * segment)) & 0xF
+            trace.append(
+                MemoryAccess(
+                    address=addresses[segment][nibble],
+                    round_index=round_index,
+                    segment=segment,
+                    table="perm",
+                    index=segment * 16 + nibble,
+                )
+            )
+            result |= self._scatter[segment][nibble]
+        return result
+
+
+__all__ = ["TracedPresent", "PRESENT_SBOX_INV"]

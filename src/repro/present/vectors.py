@@ -1,10 +1,10 @@
-"""Official PRESENT-80 test vectors (Bogdanov et al., CHES 2007, App. I)."""
+"""Official PRESENT test vectors (Bogdanov et al., CHES 2007, App. I)."""
 
 from __future__ import annotations
 
 from typing import Tuple
 
-from ..gift.vectors import TestVector
+from ..targets.trace import TestVector
 
 PRESENT80_VECTORS: Tuple[TestVector, ...] = (
     TestVector(
@@ -26,5 +26,28 @@ PRESENT80_VECTORS: Tuple[TestVector, ...] = (
         key=0xFFFFFFFFFFFFFFFFFFFF,
         plaintext=0xFFFFFFFFFFFFFFFF,
         ciphertext=0x3333DCD3213210D2,
+    ),
+)
+
+PRESENT128_VECTORS: Tuple[TestVector, ...] = (
+    TestVector(
+        key=0x00000000000000000000000000000000,
+        plaintext=0x0000000000000000,
+        ciphertext=0x96DB702A2E6900AF,
+    ),
+    TestVector(
+        key=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF,
+        plaintext=0x0000000000000000,
+        ciphertext=0x13238C710272A5D8,
+    ),
+    TestVector(
+        key=0x00000000000000000000000000000000,
+        plaintext=0xFFFFFFFFFFFFFFFF,
+        ciphertext=0x3C6019E5E5EDD563,
+    ),
+    TestVector(
+        key=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF,
+        plaintext=0xFFFFFFFFFFFFFFFF,
+        ciphertext=0x628D9FBD4218E5B4,
     ),
 )

@@ -1,7 +1,7 @@
-"""Import-layering check for the observation-channel stack.
+"""Import-layering checks for the attack stack.
 
-The :mod:`repro.channel` package is a strict four-layer architecture
-(see ``docs/architecture.md``):
+**Channel stack.**  The :mod:`repro.channel` package is a strict
+four-layer architecture (see ``docs/architecture.md``):
 
 ====  ======================  =================================
 L1    ``channel.primitive``   how residency is read
@@ -23,6 +23,22 @@ stack acyclic and the layers substitutable:
    :mod:`repro.core` or :mod:`repro.engine` (both *consume* the
    channel; an upward import would recreate the circular
    runner/attack coupling the refactor removed).
+
+**Package layering.**  Since the :class:`~repro.targets.CipherTarget`
+refactor the repo-wide rules are checked too:
+
+3. **Cipher encapsulation**: only ``repro.gift`` itself and the
+   ``repro.targets`` adapter layer may import ``repro.gift``;
+   likewise for ``repro.present``.  Everything else reaches ciphers
+   through the target protocol (or the re-exports in
+   ``repro.targets``), so adding a cipher never ripples through the
+   pipeline.
+4. **Targets layer**: ``repro.targets`` sits below the pipeline — it
+   must not import ``repro.core``, ``repro.channel`` or
+   ``repro.engine`` (they consume targets, not the reverse).
+5. **Shim ban**: the removed pre-channel deprecation shims
+   (``repro.core.runner`` et al.) must not be imported; this replaces
+   the retired ``deprecation-shims`` CI job.
 
 The check is a small AST walk (the repo deliberately has no
 import-linter dependency) and runs in CI and the test suite:
@@ -50,6 +66,26 @@ CHANNEL_LAYERS = {
 
 #: Packages the channel may never import (they consume the channel).
 FORBIDDEN_PREFIXES = ("repro.core", "repro.engine")
+
+#: Cipher packages and the packages allowed to import them.  Everything
+#: else must go through :mod:`repro.targets`.
+CIPHER_PACKAGES = {
+    "repro.gift": ("repro.gift", "repro.targets"),
+    "repro.present": ("repro.present", "repro.targets"),
+}
+
+#: The targets layer sits below the attack pipeline.
+TARGETS_FORBIDDEN = ("repro.core", "repro.channel", "repro.engine")
+
+#: Deleted deprecation shims — importing them anywhere is an error.
+#: (This rule replaces the retired ``deprecation-shims`` CI job.)
+BANNED_MODULES = (
+    "repro.core.runner",
+    "repro.core.probe",
+    "repro.core.monitor",
+    "repro.core.noise",
+    "repro.variants.observations",
+)
 
 
 def _channel_module(node: ast.AST, importer: str,
@@ -120,18 +156,100 @@ def check_channel_layering(channel_dir: Optional[Path] = None) -> List[str]:
     return violations
 
 
+def _module_name(path: Path, src_dir: Path) -> str:
+    """Dotted module name of ``path`` relative to ``src_dir``."""
+    parts = path.relative_to(src_dir).with_suffix("").parts
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _absolute_imports(tree: ast.AST, module: str
+                      ) -> Iterable[Tuple[str, int]]:
+    """Yield ``(imported_module, lineno)`` with relative imports
+    resolved against ``module``'s package."""
+    package = module.split(".")
+    # For a plain module the package is its parent; for a package
+    # (__init__) the module name *is* the package.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = (node.module or "").split(".")
+            else:
+                base = package[: len(package) - node.level]
+                if node.module:
+                    base.extend(node.module.split("."))
+            resolved = ".".join(part for part in base if part)
+            # Yield only the alias-qualified names: they cover every
+            # package-prefix rule (``X.y`` starts with ``X``) and catch
+            # ``from repro.core import runner``-style submodule imports
+            # without double-reporting the bare module.
+            for alias in node.names:
+                yield f"{resolved}.{alias.name}", node.lineno
+
+
+def _in_package(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in prefixes)
+
+
+def check_package_layering(src_dir: Optional[Path] = None) -> List[str]:
+    """Repo-wide rules: cipher encapsulation, targets layer, shim ban."""
+    if src_dir is None:
+        src_dir = Path(__file__).resolve().parent.parent.parent
+    repro_dir = src_dir / "repro"
+    if not repro_dir.is_dir():
+        return [f"repro package not found under {src_dir}"]
+    violations: List[str] = []
+    for path in sorted(repro_dir.rglob("*.py")):
+        module = _module_name(path, src_dir)
+        # Note: a package __init__ counts as inside its own package, so
+        # repro/gift/__init__.py may import repro.gift submodules.
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported, lineno in _absolute_imports(tree, module):
+            for cipher, allowed in CIPHER_PACKAGES.items():
+                if _in_package(imported, (cipher,)) \
+                        and not _in_package(module, allowed):
+                    violations.append(
+                        f"{path}:{lineno}: {module} imports {imported} — "
+                        f"only {' / '.join(allowed)} may import {cipher}; "
+                        f"go through repro.targets"
+                    )
+            if _in_package(module, ("repro.targets",)) \
+                    and _in_package(imported, TARGETS_FORBIDDEN):
+                violations.append(
+                    f"{path}:{lineno}: {module} imports {imported} — "
+                    f"repro.targets must not import the pipeline that "
+                    f"consumes it"
+                )
+            if _in_package(imported, BANNED_MODULES):
+                violations.append(
+                    f"{path}:{lineno}: {module} imports the deleted "
+                    f"deprecation shim {imported}"
+                )
+    return violations
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: print violations, exit 1 if any."""
-    violations = check_channel_layering(
-        Path(argv[0]) if argv else None
-    )
+    channel_dir = Path(argv[0]) if argv else None
+    violations = check_channel_layering(channel_dir)
+    if channel_dir is None:
+        # Repo-wide rules only apply to the installed tree; an explicit
+        # path argument points at a synthetic channel package under test.
+        violations += check_package_layering()
     for violation in violations:
         print(violation, file=sys.stderr)
     if violations:
         print(f"{len(violations)} layering violation(s)", file=sys.stderr)
         return 1
     print("channel layering OK "
-          f"({len(CHANNEL_LAYERS)} modules, L1 -> L4 acyclic)")
+          f"({len(CHANNEL_LAYERS)} modules, L1 -> L4 acyclic); "
+          "package layering OK (cipher encapsulation, targets layer, "
+          "shim ban)")
     return 0
 
 

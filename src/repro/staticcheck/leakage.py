@@ -414,8 +414,31 @@ def compute_budget(paths: Sequence[str],
             "geometry": report.to_dict()["geometry"],
             "sites": _site_records(report),
             "summary": report.summary(),
+            "targets": _target_records(geometry_preset(preset)),
         }
     return budget
+
+
+def _target_records(geometry: CacheGeometry) -> Dict[str, Any]:
+    """Joint per-round bounds for every registered cipher target.
+
+    The per-site rows bound each load in isolation; the joint row
+    applies the ``refine`` operator across all sites a segment drives
+    within one round (S-box load x scatter load), answering how much
+    the *combination* reveals.
+    """
+    from ..targets.registry import registered_targets
+
+    records: Dict[str, Any] = {}
+    for name, target in sorted(registered_targets().items()):
+        joint = target.joint_bits_per_round(geometry)
+        records[name] = {
+            "segments": target.segments,
+            "joint_bits_per_round": joint,
+            "joint_bits_per_segment": joint / target.segments,
+            "key_bits_per_round": target.bits_per_round,
+        }
+    return records
 
 
 def write_budget(budget: Mapping[str, Any], path: Path) -> None:
@@ -492,6 +515,39 @@ def check_budget(current: Mapping[str, Any],
                 violations.append(
                     f"REGRESSION[{preset}]: site {fingerprint} bound rose "
                     f"{old_bound!r} -> {new_bound!r}"
+                )
+        new_targets = current_presets[preset].get("targets", {})
+        old_targets = committed_presets[preset].get("targets", {})
+        for name in sorted(set(new_targets) | set(old_targets)):
+            new = new_targets.get(name)
+            old = old_targets.get(name)
+            if old is None:
+                violations.append(
+                    f"REGRESSION[{preset}]: target {name!r} has no "
+                    f"committed joint-leakage row — regenerate "
+                    f"{DEFAULT_BUDGET_NAME}"
+                )
+                continue
+            if new is None:
+                violations.append(
+                    f"STALE[{preset}]: committed target {name!r} is no "
+                    f"longer registered — regenerate {DEFAULT_BUDGET_NAME}"
+                )
+                continue
+            new_joint = new["joint_bits_per_round"]
+            old_joint = old["joint_bits_per_round"]
+            if _close(new_joint, old_joint):
+                continue
+            if new_joint < old_joint:
+                violations.append(
+                    f"STALE[{preset}]: target {name!r} joint bound fell "
+                    f"{old_joint!r} -> {new_joint!r} — regenerate "
+                    f"{DEFAULT_BUDGET_NAME} to record the improvement"
+                )
+            else:
+                violations.append(
+                    f"REGRESSION[{preset}]: target {name!r} joint bound "
+                    f"rose {old_joint!r} -> {new_joint!r}"
                 )
     return violations
 
@@ -664,22 +720,37 @@ def validate_against_measured(geometry: Optional[CacheGeometry] = None,
     )
 
 
-def _gift_sbox_layout() -> TableAccessLayout:
-    """The GIFT S-box layout, via its runtime declaration."""
-    from ..gift import sbox  # noqa: F401  (importing registers the layout)
+def target_table_layout(target_name: str) -> TableAccessLayout:
+    """A registered target's S-box layout, via its runtime declaration.
+
+    The target declares its tables by qualified name
+    (:attr:`~repro.targets.CipherTarget.table_names`); importing the
+    owning module registers the layout, which this resolves.
+    """
+    import importlib
+
+    from ..targets.registry import get_target
     from .equivalence import declared_layout
 
-    layout = declared_layout("repro.gift.sbox.GIFT_SBOX")
+    target = get_target(target_name)
+    qualified = target.table_names[0]
+    importlib.import_module(qualified.rsplit(".", 1)[0])
+    layout = declared_layout(qualified)
     if layout is None:  # pragma: no cover - declaration removed
         layout = TableAccessLayout(domain=16, entry_bytes=1)
     return layout
 
 
+def _gift_sbox_layout() -> TableAccessLayout:
+    """The GIFT S-box layout (validation always runs against GIFT-64)."""
+    return target_table_layout("gift64")
+
+
 def _pinned_seed0_encryptions() -> int:
     """Re-run the pinned seed-0 GIFT-64 Flush+Reload recovery."""
     from ..core import AttackConfig, GrinchAttack
-    from ..gift.lut import TracedGift64
     from ..seeding import derive_key
+    from ..targets.gift import TracedGift64
 
     victim = TracedGift64(derive_key(128, 0))
     result = GrinchAttack(victim, AttackConfig(seed=0)).recover_master_key()

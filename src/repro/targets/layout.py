@@ -1,0 +1,22 @@
+"""Table-layout vocabulary of the target layer.
+
+:class:`TableLayout` (where a victim's lookup tables live in data
+memory) was born in :mod:`repro.gift.lut` but is cipher-agnostic: any
+table-based SPN victim places a 16-entry S-box and a per-segment
+scatter table somewhere in its binary.  The target layer re-exports it
+as the sanctioned, cipher-neutral import path — the layering checker
+bans direct ``repro.gift`` imports outside ``repro.gift`` and
+``repro.targets``, so every other layer gets the layout types from
+here.
+"""
+
+from __future__ import annotations
+
+from ..gift.lut import MAX_SEGMENTS, TableLayout
+
+#: Entries in a 4-bit S-box — the monitored table of every registered
+#: target (GIFT, PRESENT, and GIFT-COFB all substitute nibbles through
+#: one 16-entry table).
+SBOX_ENTRIES: int = 16
+
+__all__ = ["TableLayout", "MAX_SEGMENTS", "SBOX_ENTRIES"]

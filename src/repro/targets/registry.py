@@ -1,0 +1,78 @@
+"""The target registry: name -> :class:`CipherTarget`.
+
+Registration of the built-in targets is lazy (triggered by the first
+lookup), mirroring :mod:`repro.engine.registry`: ``repro.core`` imports
+this module at attack-construction time, and the builtin target modules
+import the cipher packages — eager registration would pull every cipher
+implementation in whenever anything touched ``repro.targets``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .protocol import CipherTarget
+
+_REGISTRY: Dict[str, CipherTarget] = {}
+_BUILTINS_LOADED = False
+
+
+def register_target(target: CipherTarget) -> CipherTarget:
+    """Register ``target`` under its name (later wins, like monkeypatching
+    a registry entry in tests)."""
+    _REGISTRY[target.name] = target
+    return target
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    # Imported for their registration side effects.
+    from . import gift, giftcofb, present  # noqa: F401
+
+
+def get_target(name: str) -> CipherTarget:
+    """Resolve a registered target by name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cipher target {name!r}; known: "
+            f"{', '.join(target_names())}"
+        ) from None
+
+
+def target_names() -> List[str]:
+    """Names of all registered targets, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def registered_targets() -> Dict[str, CipherTarget]:
+    """Snapshot of the registry (name -> target)."""
+    _ensure_builtins()
+    return dict(_REGISTRY)
+
+
+def resolve_target_for(victim: Any) -> CipherTarget:
+    """Map a victim instance to its registered target.
+
+    Victims carry their registry name in an ``attack_target`` attribute;
+    plain GIFT victims (including the countermeasure subclasses, which
+    keep GIFT's structure) are recognised by state width alone, so every
+    pre-protocol victim keeps working unmodified.
+    """
+    name = getattr(victim, "attack_target", None)
+    if name is not None:
+        return get_target(name)
+    width = getattr(victim, "width", None)
+    if width in (64, 128):
+        return get_target(f"gift{width}")
+    raise TypeError(
+        f"cannot resolve a cipher target for {type(victim).__name__}: "
+        f"no attack_target attribute and width {width!r} is not a GIFT "
+        f"state width"
+    )

@@ -1,0 +1,17 @@
+"""Trace and test-vector records, re-exported cipher-neutrally.
+
+:class:`MemoryAccess` / :class:`EncryptionTrace` describe *any*
+table-based victim's address stream (the tags carry a round, a segment,
+a table name, and an index — nothing GIFT-specific), and
+:class:`TestVector` is a plain known-answer triple.  They are defined
+next to the first victim that emitted them (:mod:`repro.gift`), and the
+target layer re-exports them so the channel stack, the variants, and
+new cipher ports can consume traces without importing ``repro.gift``.
+"""
+
+from __future__ import annotations
+
+from ..gift.trace import EncryptionTrace, MemoryAccess
+from ..gift.vectors import TestVector
+
+__all__ = ["EncryptionTrace", "MemoryAccess", "TestVector"]

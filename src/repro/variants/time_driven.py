@@ -34,7 +34,7 @@ from ..core.crafting import PlaintextCrafter
 from ..core.profile import profile_for_width
 from ..core.recover import KeyBitPair, key_pairs_from_line
 from ..core.target_bits import set_target_bits
-from ..gift.lut import TracedGiftCipher
+from ..targets.gift import TracedGiftCipher
 from ..seeding import derive_rng
 
 

@@ -12,7 +12,8 @@ from repro.present.cipher import (
     PRESENT_SBOX,
     Present,
 )
-from repro.present.vectors import PRESENT80_VECTORS
+from repro.present.lut import TracedPresent
+from repro.present.vectors import PRESENT80_VECTORS, PRESENT128_VECTORS
 
 blocks = st.integers(min_value=0, max_value=(1 << 64) - 1)
 keys80 = st.integers(min_value=0, max_value=(1 << 80) - 1)
@@ -21,10 +22,22 @@ keys128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
 
 class TestKnownAnswers:
     @pytest.mark.parametrize("vector", PRESENT80_VECTORS)
-    def test_official_vectors(self, vector):
+    def test_official_vectors_80(self, vector):
         cipher = Present(vector.key, key_bits=80)
         assert cipher.encrypt(vector.plaintext) == vector.ciphertext
         assert cipher.decrypt(vector.ciphertext) == vector.plaintext
+
+    @pytest.mark.parametrize("vector", PRESENT128_VECTORS)
+    def test_official_vectors_128(self, vector):
+        cipher = Present(vector.key, key_bits=128)
+        assert cipher.encrypt(vector.plaintext) == vector.ciphertext
+        assert cipher.decrypt(vector.ciphertext) == vector.plaintext
+
+    @pytest.mark.parametrize("vector", PRESENT80_VECTORS)
+    def test_traced_implementation_matches_vectors(self, vector):
+        traced = TracedPresent(vector.key, key_bits=80)
+        assert traced.encrypt(vector.plaintext) == vector.ciphertext
+        assert traced.decrypt(vector.ciphertext) == vector.plaintext
 
 
 class TestRoundTrips:
@@ -90,6 +103,51 @@ class TestAttackSurfaceContrast:
         state = plaintext ^ cipher.round_keys[0]
         expected = [(state >> (4 * s)) & 0xF for s in range(16)]
         assert cipher.sbox_indices_by_round(plaintext, 1)[0] == expected
+
+
+class TestTracedPresent:
+    @settings(max_examples=15)
+    @given(keys80, blocks)
+    def test_traced_equals_untraced(self, key, plaintext):
+        assert TracedPresent(key, key_bits=80).encrypt(plaintext) == \
+            Present(key, key_bits=80).encrypt(plaintext)
+
+    @settings(max_examples=10)
+    @given(keys128, blocks)
+    def test_traced_equals_untraced_128(self, key, plaintext):
+        assert TracedPresent(key, key_bits=128).encrypt(plaintext) == \
+            Present(key, key_bits=128).encrypt(plaintext)
+
+    def test_trace_ciphertext_and_tables(self):
+        traced = TracedPresent(0xDEADBEEFCAFE0123456789 & ((1 << 80) - 1))
+        plaintext = 0x0011223344556677
+        trace = traced.encrypt_traced(plaintext)
+        assert trace.ciphertext == traced.encrypt(plaintext)
+        tables = {a.table for a in trace.accesses}
+        assert tables == {"sbox", "perm"}
+
+    def test_partial_trace_stops_before_the_final_key(self):
+        """A ``max_rounds`` trace exposes the attacked rounds only; the
+        whitening key K_32 is applied solely on full encryptions."""
+        traced = TracedPresent(derive_present_key(1))
+        plaintext = 0x0123456789ABCDEF
+        partial = traced.encrypt_traced(plaintext, max_rounds=2)
+        rounds = {a.round_index for a in partial.accesses}
+        assert rounds == {1, 2}
+
+    def test_attack_target_name_follows_key_size(self):
+        assert TracedPresent(0, key_bits=80).attack_target == "present80"
+        assert TracedPresent(0, key_bits=128).attack_target == "present128"
+
+    def test_probe_round_offset_is_zero(self):
+        # Key-before-S-box: round t's own accesses carry K_t.
+        assert TracedPresent(0).probe_round_offset == 0
+
+
+def derive_present_key(seed):
+    import random
+
+    return random.Random(seed).getrandbits(80)
 
 
 class TestValidation:

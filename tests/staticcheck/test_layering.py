@@ -2,9 +2,13 @@
 must be clean, and each rule must fire on a synthetic violator."""
 
 from repro.staticcheck.layering import (
+    BANNED_MODULES,
     CHANNEL_LAYERS,
+    CIPHER_PACKAGES,
     FORBIDDEN_PREFIXES,
+    TARGETS_FORBIDDEN,
     check_channel_layering,
+    check_package_layering,
     main,
 )
 
@@ -100,6 +104,77 @@ class TestSyntheticViolations:
 
     def test_missing_package_reports_rather_than_crashes(self, tmp_path):
         violations = check_channel_layering(tmp_path / "nonexistent")
+        assert violations and "not found" in violations[0]
+
+
+def make_src(tmp_path, files):
+    """Lay out a synthetic src/repro tree; keys are repro-relative
+    paths like ``core/attack.py``."""
+    src = tmp_path / "src"
+    for rel, source in files.items():
+        path = src / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return src
+
+
+class TestPackageLayering:
+    def test_shipped_tree_is_compliant(self):
+        assert check_package_layering() == []
+
+    def test_rule_tables_cover_the_refactor(self):
+        assert set(CIPHER_PACKAGES) == {"repro.gift", "repro.present"}
+        assert "repro.core" in TARGETS_FORBIDDEN
+        assert "repro.channel" in TARGETS_FORBIDDEN
+        assert "repro.core.runner" in BANNED_MODULES
+        assert "repro.variants.observations" in BANNED_MODULES
+
+    def test_gift_import_outside_targets_is_flagged(self, tmp_path):
+        src = make_src(tmp_path, {
+            "core/attack.py": "from ..gift.lut import TracedGift64\n",
+        })
+        violations = check_package_layering(src)
+        assert len(violations) == 1
+        assert "go through repro.targets" in violations[0]
+
+    def test_targets_may_import_ciphers(self, tmp_path):
+        src = make_src(tmp_path, {
+            "targets/gift.py": "from ..gift.cipher import Gift64\n",
+            "targets/present.py": "import repro.present.cipher\n",
+            "gift/__init__.py": "from .lut import TracedGift64\n",
+        })
+        assert check_package_layering(src) == []
+
+    def test_targets_importing_the_pipeline_is_flagged(self, tmp_path):
+        src = make_src(tmp_path, {
+            "targets/rogue.py": "from ..core.attack import GrinchAttack\n",
+        })
+        violations = check_package_layering(src)
+        assert len(violations) == 1
+        assert "must not import the pipeline" in violations[0]
+
+    def test_core_may_import_targets(self, tmp_path):
+        src = make_src(tmp_path, {
+            "core/attack.py": "from ..targets.registry import get_target\n",
+        })
+        assert check_package_layering(src) == []
+
+    def test_deleted_shim_import_is_flagged(self, tmp_path):
+        src = make_src(tmp_path, {
+            "engine/thing.py": "from repro.core.runner import Runner\n",
+        })
+        violations = check_package_layering(src)
+        assert any("deprecation shim" in v for v in violations)
+
+    def test_from_import_of_a_shim_submodule_is_flagged(self, tmp_path):
+        src = make_src(tmp_path, {
+            "engine/thing.py": "from repro.variants import observations\n",
+        })
+        violations = check_package_layering(src)
+        assert any("repro.variants.observations" in v for v in violations)
+
+    def test_missing_tree_reports_rather_than_crashes(self, tmp_path):
+        violations = check_package_layering(tmp_path / "nowhere")
         assert violations and "not found" in violations[0]
 
 
