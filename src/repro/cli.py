@@ -13,6 +13,8 @@ Exposes the headline attack and the unified experiment engine:
    $ python -m repro theory --line-words 4
    $ python -m repro perf --quick --json
    $ python -m repro staticcheck leakage --check-budget
+   $ python -m repro trace record --target gift64 --out run.grtr
+   $ python -m repro trace replay run.grtr --check
 
 ``run`` executes any registered experiment (E1–E14) through
 :mod:`repro.engine`: Monte-Carlo trials fan out over ``--workers``
@@ -143,6 +145,15 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "perf_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m repro.perf",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="record, replay, convert and inspect attack traces (L0)",
+    )
+    trace.add_argument(
+        "trace_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to the trace front-end",
     )
     return parser
 
@@ -321,6 +332,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return perf_main(args.perf_args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .tracecli import main as trace_main
+
+    return trace_main(args.trace_args)
+
+
 _HANDLERS = {
     "attack": _cmd_attack,
     "run": _cmd_run,
@@ -331,6 +348,7 @@ _HANDLERS = {
     "theory": _cmd_theory,
     "staticcheck": _cmd_staticcheck,
     "perf": _cmd_perf,
+    "trace": _cmd_trace,
 }
 
 
@@ -347,6 +365,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_staticcheck(
             argparse.Namespace(staticcheck_args=argv[1:])
         )
+    if argv[:1] == ["trace"]:
+        # Same REMAINDER limitation for ``trace record --target ...``.
+        return _cmd_trace(argparse.Namespace(trace_args=argv[1:]))
     args = _build_parser().parse_args(argv)
     return _HANDLERS[args.command](args)
 

@@ -101,6 +101,7 @@ def _ensure_builtins() -> None:
         comparison,
         experiments,
         multitarget,
+        replay,
         robustness,
     )
 

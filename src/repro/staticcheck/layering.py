@@ -4,11 +4,16 @@
 four-layer architecture (see ``docs/architecture.md``):
 
 ====  ======================  =================================
+L0    ``repro.trace``         trace record/replay substrate
 L1    ``channel.primitive``   how residency is read
 L2    ``channel.transport``   which substrate probe & victim share
 L3    ``channel.degradation`` loss/jitter decorators
 L4    ``channel.observer``    the one public observation API
 ====  ======================  =================================
+
+(L0 is its own package, not a channel module: the trace formats and
+record/replay objects sit *below* the whole stack and are checked by
+rule 6 below.)
 
 with ``channel.monitor`` below L1 (pure address bookkeeping) and the
 package ``__init__`` above L4 (re-exports only).  Two rules keep the
@@ -39,6 +44,14 @@ refactor the repo-wide rules are checked too:
 5. **Shim ban**: the removed pre-channel deprecation shims
    (``repro.core.runner`` et al.) must not be imported; this replaces
    the retired ``deprecation-shims`` CI job.
+6. **Trace layer (L0)**: ``repro.trace`` sits below everything —
+   it may import only the victim-facing data model
+   (``repro.targets``), geometry (``repro.cache``), seeding, and the
+   staticcheck annotations.  Importing ``repro.channel``,
+   ``repro.core``, ``repro.engine`` or any other pipeline package
+   from L0 is an upward import (replay must work with no cipher and
+   no channel in the loop; the CLI glue lives in ``repro.tracecli``
+   *outside* the package for exactly this reason).
 
 The check is a small AST walk (the repo deliberately has no
 import-linter dependency) and runs in CI and the test suite:
@@ -76,6 +89,23 @@ CIPHER_PACKAGES = {
 
 #: The targets layer sits below the attack pipeline.
 TARGETS_FORBIDDEN = ("repro.core", "repro.channel", "repro.engine")
+
+#: L0: packages ``repro.trace`` may never import.  The allow-list view:
+#: targets (data model), cache (geometry), seeding, staticcheck
+#: (annotations) and the stdlib are fine; everything that *consumes*
+#: traces is not.
+TRACE_FORBIDDEN = (
+    "repro.channel",
+    "repro.core",
+    "repro.engine",
+    "repro.variants",
+    "repro.analysis",
+    "repro.countermeasures",
+    "repro.cli",
+    "repro.tracecli",
+    "repro.perf",
+    "repro.soc",
+)
 
 #: Deleted deprecation shims — importing them anywhere is an error.
 #: (This rule replaces the retired ``deprecation-shims`` CI job.)
@@ -225,6 +255,13 @@ def check_package_layering(src_dir: Optional[Path] = None) -> List[str]:
                     f"repro.targets must not import the pipeline that "
                     f"consumes it"
                 )
+            if _in_package(module, ("repro.trace",)) \
+                    and _in_package(imported, TRACE_FORBIDDEN):
+                violations.append(
+                    f"{path}:{lineno}: {module} imports {imported} — "
+                    f"L0 (repro.trace) sits below the whole stack and "
+                    f"may import nothing above itself"
+                )
             if _in_package(imported, BANNED_MODULES):
                 violations.append(
                     f"{path}:{lineno}: {module} imports the deleted "
@@ -249,7 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("channel layering OK "
           f"({len(CHANNEL_LAYERS)} modules, L1 -> L4 acyclic); "
           "package layering OK (cipher encapsulation, targets layer, "
-          "shim ban)")
+          "trace layer L0, shim ban)")
     return 0
 
 

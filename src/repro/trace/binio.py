@@ -1,0 +1,378 @@
+"""The compact binary trace encoding (``.grtr``).
+
+Little-endian, struct-packed, fully deterministic: encoding the same
+:class:`~repro.trace.format.TraceFile` twice yields identical bytes
+(the CI corpus job depends on this to detect format or RNG drift by a
+plain byte comparison).  Overall layout::
+
+    magic      4s   "GRTR"
+    version    u16  FORMAT_VERSION
+    flags      u16  reserved (0)
+    header     (see _encode_header below)
+    count      u32  number of records
+    records    count x record
+    checksum   u32  CRC-32 of every preceding byte
+
+Strings are ``u16`` length + UTF-8 bytes.  Plaintext/ciphertext are
+big-endian integers of ``ceil(width / 8)`` bytes behind a presence
+flag.  The two window payloads:
+
+* ``indices`` — ``rounds_visible * segments`` S-box nibbles packed two
+  per byte (low nibble first); addresses are reconstructed from the
+  header layout on read.
+* ``accesses`` — ``u32`` count, then per access ``u64 address``,
+  ``u16 round_index`` (0 = untagged), ``i16 segment`` (-1 = untagged),
+  ``u8`` table index into the header's table-name table, and
+  ``i32 index`` (-1 = unknown).
+
+Every decode failure raises a typed error from
+:mod:`repro.trace.errors`: a short buffer can never silently yield a
+short stream — truncation anywhere breaks the trailing CRC-32 (or the
+in-band length fields) and decoding stops with
+:class:`~repro.trace.errors.TraceFormatError`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, List, Tuple, Union
+
+from ..cache.geometry import CacheGeometry
+from ..targets.layout import TableLayout
+from ..targets.trace import MemoryAccess
+from .errors import TraceFormatError, TraceVersionError
+from .format import (
+    FORMAT_VERSION,
+    KIND_ACCESSES,
+    KIND_INDICES,
+    KIND_PAIR,
+    EncryptionRecord,
+    TraceFile,
+    TraceHeader,
+)
+
+#: File magic of the binary encoding.
+MAGIC = b"GRTR"
+
+#: Preferred file suffix of the binary encoding.
+BINARY_SUFFIX = ".grtr"
+
+_KIND_CODES = {KIND_PAIR: 0, KIND_ACCESSES: 1, KIND_INDICES: 2}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+_ACCESS = struct.Struct("<QHhBi")
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def _pack_str(out: List[bytes], text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise TraceFormatError(f"string field too long ({len(data)} bytes)")
+    out.append(struct.pack("<H", len(data)))
+    out.append(data)
+
+
+def _pack_uint(value: int, fmt: str, what: str) -> bytes:
+    try:
+        return struct.pack(fmt, value)
+    except struct.error:
+        raise TraceFormatError(
+            f"{what} {value} does not fit the binary encoding"
+        ) from None
+
+
+def _pack_block(value: Union[int, None], nbytes: int, what: str
+                ) -> List[bytes]:
+    if value is None:
+        return [b"\x00"]
+    if value >= 1 << (8 * nbytes):
+        raise TraceFormatError(
+            f"{what} 0x{value:x} exceeds the header width"
+        )
+    return [b"\x01", value.to_bytes(nbytes, "big")]
+
+
+def _encode_header(header: TraceHeader) -> bytes:
+    out: List[bytes] = []
+    _pack_str(out, header.target)
+    out.append(_pack_uint(header.width, "<H", "width"))
+    out.append(_pack_uint(header.rounds, "<H", "rounds"))
+    if header.seed is None:
+        out.append(struct.pack("<Bq", 0, 0))
+    else:
+        out.append(b"\x01")
+        out.append(_pack_uint(header.seed, "<q", "seed"))
+    _pack_str(out, header.scope)
+    out.append(_pack_uint(header.probe_round_offset, "<B",
+                          "probe_round_offset"))
+    geometry = header.geometry
+    out.append(_pack_uint(geometry.total_lines, "<I", "total_lines"))
+    out.append(_pack_uint(geometry.ways, "<H", "ways"))
+    out.append(_pack_uint(geometry.line_words, "<H", "line_words"))
+    out.append(_pack_uint(geometry.word_bytes, "<H", "word_bytes"))
+    layout = header.layout
+    out.append(_pack_uint(layout.sbox_base, "<Q", "sbox_base"))
+    out.append(_pack_uint(layout.sbox_entry_bytes, "<I",
+                          "sbox_entry_bytes"))
+    out.append(_pack_uint(layout.perm_base, "<Q", "perm_base"))
+    out.append(_pack_uint(layout.perm_entry_bytes, "<I",
+                          "perm_entry_bytes"))
+    out.append(_pack_uint(header.probing_round, "<H", "probing_round"))
+    out.append(struct.pack("<B", 1 if header.use_flush else 0))
+    _pack_str(out, header.probe_strategy)
+    if len(header.tables) > 0xFF:
+        raise TraceFormatError("too many table names")
+    out.append(struct.pack("<B", len(header.tables)))
+    for table in header.tables:
+        _pack_str(out, table)
+    meta = json.dumps(header.meta, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    out.append(struct.pack("<I", len(meta)))
+    out.append(meta)
+    return b"".join(out)
+
+
+def _encode_record(record: EncryptionRecord, header: TraceHeader,
+                   nbytes: int) -> bytes:
+    out: List[bytes] = [struct.pack("<B", _KIND_CODES[record.kind])]
+    out.extend(_pack_block(record.plaintext, nbytes, "plaintext"))
+    out.extend(_pack_block(record.ciphertext, nbytes, "ciphertext"))
+    out.append(_pack_uint(record.rounds_visible, "<H", "rounds_visible"))
+    if record.kind == KIND_ACCESSES:
+        out.append(struct.pack("<I", len(record.accesses)))
+        for access in record.accesses:
+            try:
+                out.append(_ACCESS.pack(
+                    access.address, access.round_index, access.segment,
+                    header.table_index(access.table), access.index,
+                ))
+            except struct.error:
+                raise TraceFormatError(
+                    f"access {access!r} does not fit the binary encoding"
+                ) from None
+    elif record.kind == KIND_INDICES:
+        nibbles: List[int] = [
+            index for row in record.indices for index in row
+        ]
+        packed = bytearray((len(nibbles) + 1) // 2)
+        for position, nibble in enumerate(nibbles):
+            if position % 2:
+                packed[position // 2] |= nibble << 4
+            else:
+                packed[position // 2] = nibble
+        out.append(bytes(packed))
+    return b"".join(out)
+
+
+def dumps(trace: TraceFile) -> bytes:
+    """Serialize ``trace`` to the deterministic binary encoding."""
+    nbytes = (trace.header.width + 7) // 8
+    out: List[bytes] = [
+        MAGIC,
+        struct.pack("<HH", FORMAT_VERSION, 0),
+        _encode_header(trace.header),
+        struct.pack("<I", len(trace.records)),
+    ]
+    for record in trace.records:
+        out.append(_encode_record(record, trace.header, nbytes))
+    body = b"".join(out)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def write_binary(trace: TraceFile, path: Union[str, Path]) -> int:
+    """Write the binary encoding to ``path``; returns the byte count."""
+    data = dumps(trace)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+class _Reader:
+    """Bounds-checked cursor over the raw bytes."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int, what: str) -> bytes:
+        end = self.offset + count
+        if count < 0 or end > len(self.data):
+            raise TraceFormatError(
+                f"truncated trace: needed {count} bytes for {what} at "
+                f"offset {self.offset}, only "
+                f"{len(self.data) - self.offset} left"
+            )
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def unpack(self, fmt: str, what: str) -> Tuple[Any, ...]:
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self.take(size, what))
+
+    def take_str(self, what: str) -> str:
+        (length,) = self.unpack("<H", f"{what} length")
+        try:
+            return self.take(length, what).decode("utf-8")
+        except UnicodeDecodeError:
+            raise TraceFormatError(f"{what} is not valid UTF-8") from None
+
+
+def _decode_header(reader: _Reader) -> TraceHeader:
+    target = reader.take_str("target name")
+    width, rounds = reader.unpack("<HH", "width/rounds")
+    seed_flag, seed = reader.unpack("<Bq", "seed")
+    scope = reader.take_str("rng scope")
+    (probe_round_offset,) = reader.unpack("<B", "probe_round_offset")
+    total_lines, ways, line_words, word_bytes = reader.unpack(
+        "<IHHH", "geometry")
+    sbox_base, sbox_entry, perm_base, perm_entry = reader.unpack(
+        "<QIQI", "layout")
+    probing_round, use_flush = reader.unpack("<HB", "config")
+    probe_strategy = reader.take_str("probe strategy")
+    (ntables,) = reader.unpack("<B", "table count")
+    tables = tuple(reader.take_str("table name") for _ in range(ntables))
+    (meta_len,) = reader.unpack("<I", "meta length")
+    meta_raw = reader.take(meta_len, "meta")
+    try:
+        meta = json.loads(meta_raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TraceFormatError(f"corrupt header meta: {error}") from None
+    try:
+        return TraceHeader(
+            target=target, width=width, rounds=rounds,
+            seed=seed if seed_flag else None, scope=scope,
+            probe_round_offset=probe_round_offset,
+            geometry=CacheGeometry(total_lines=total_lines, ways=ways,
+                                   line_words=line_words,
+                                   word_bytes=word_bytes),
+            layout=TableLayout(sbox_base=sbox_base,
+                               sbox_entry_bytes=sbox_entry,
+                               perm_base=perm_base,
+                               perm_entry_bytes=perm_entry),
+            probing_round=probing_round, use_flush=bool(use_flush),
+            probe_strategy=probe_strategy, tables=tables, meta=meta,
+        )
+    except ValueError as error:
+        raise TraceFormatError(f"corrupt header: {error}") from None
+
+
+def _take_block(reader: _Reader, nbytes: int, what: str
+                ) -> Union[int, None]:
+    (flag,) = reader.unpack("<B", f"{what} flag")
+    if not flag:
+        return None
+    return int.from_bytes(reader.take(nbytes, what), "big")
+
+
+def _decode_record(reader: _Reader, header: TraceHeader, nbytes: int,
+                   position: int) -> EncryptionRecord:
+    what = f"record {position}"
+    (code,) = reader.unpack("<B", f"{what} kind")
+    kind = _KIND_NAMES.get(code)
+    if kind is None:
+        raise TraceFormatError(f"{what}: unknown record kind {code}")
+    plaintext = _take_block(reader, nbytes, f"{what} plaintext")
+    ciphertext = _take_block(reader, nbytes, f"{what} ciphertext")
+    (rounds_visible,) = reader.unpack("<H", f"{what} rounds_visible")
+    accesses: Tuple[MemoryAccess, ...] = ()
+    indices: Tuple[Tuple[int, ...], ...] = ()
+    if kind == KIND_ACCESSES:
+        (count,) = reader.unpack("<I", f"{what} access count")
+        items = []
+        for _ in range(count):
+            address, round_index, segment, table_idx, index = (
+                reader.unpack("<QHhBi", f"{what} access"))
+            if table_idx >= len(header.tables):
+                raise TraceFormatError(
+                    f"{what}: table index {table_idx} out of range "
+                    f"({len(header.tables)} tables declared)"
+                )
+            items.append(MemoryAccess(
+                address=address, round_index=round_index,
+                segment=segment, table=header.tables[table_idx],
+                index=index,
+            ))
+        accesses = tuple(items)
+    elif kind == KIND_INDICES:
+        total = rounds_visible * header.segments
+        packed = reader.take((total + 1) // 2, f"{what} packed indices")
+        nibbles = []
+        for position_ in range(total):
+            byte = packed[position_ // 2]
+            nibbles.append((byte >> 4) if position_ % 2 else (byte & 0xF))
+        segments = header.segments
+        indices = tuple(
+            tuple(nibbles[row * segments:(row + 1) * segments])
+            for row in range(rounds_visible)
+        )
+        if total % 2 and packed and packed[-1] >> 4:
+            raise TraceFormatError(
+                f"{what}: non-zero padding nibble in packed indices"
+            )
+    try:
+        return EncryptionRecord(
+            kind=kind, plaintext=plaintext, ciphertext=ciphertext,
+            rounds_visible=rounds_visible, accesses=accesses,
+            indices=indices,
+        )
+    except ValueError as error:  # pragma: no cover - defensive
+        raise TraceFormatError(f"{what}: {error}") from None
+
+
+def loads(data: bytes) -> TraceFile:
+    """Decode a binary trace; raises typed errors on any malformation."""
+    if len(data) < len(MAGIC) + 4 + 4:
+        raise TraceFormatError(
+            f"truncated trace: {len(data)} bytes is shorter than the "
+            f"fixed preamble"
+        )
+    if data[:len(MAGIC)] != MAGIC:
+        raise TraceFormatError(
+            f"bad magic {data[:len(MAGIC)]!r}; not a {MAGIC.decode()} "
+            f"binary trace"
+        )
+    version, _flags = struct.unpack_from("<HH", data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise TraceVersionError(
+            f"trace format version {version} is not supported "
+            f"(this reader speaks version {FORMAT_VERSION})"
+        )
+    (stored_crc,) = struct.unpack_from("<I", data, len(data) - 4)
+    actual_crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise TraceFormatError(
+            f"checksum mismatch (stored 0x{stored_crc:08x}, computed "
+            f"0x{actual_crc:08x}): the trace is corrupt or truncated"
+        )
+    reader = _Reader(data[:-4])
+    reader.take(len(MAGIC) + 4, "preamble")
+    header = _decode_header(reader)
+    nbytes = (header.width + 7) // 8
+    (count,) = reader.unpack("<I", "record count")
+    records = tuple(
+        _decode_record(reader, header, nbytes, position)
+        for position in range(count)
+    )
+    if reader.offset != len(reader.data):
+        raise TraceFormatError(
+            f"{len(reader.data) - reader.offset} trailing bytes after "
+            f"the last record"
+        )
+    return TraceFile(header=header, records=records)
+
+
+def read_binary(path: Union[str, Path]) -> TraceFile:
+    """Read and decode a binary trace file."""
+    return loads(Path(path).read_bytes())

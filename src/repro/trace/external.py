@@ -1,0 +1,357 @@
+"""Ingest external memory-trace logs (malloc/free + access streams).
+
+The accepted format follows the WOOT'21-style heap-trace tooling this
+repo's roadmap names as the exemplar: a line-oriented log of allocator
+events and data accesses, with optional encryption-boundary markers::
+
+    # comment
+    alloc 0x55a0 16          # malloc(16): base address, size
+    alloc 0x7000 2048        # malloc(16 * segments * 8)
+    enc 0123456789abcdef     # encryption begins (plaintext, hex)
+    read 0x55a3              # a data access (aliases: write/access/
+    read 0x7008              #   load/store/r/w)
+    end                      # encryption ends (optional before enc/EOF)
+    free 0x55a0
+
+Table regions are identified by their allocation *size* against the
+canonical :class:`~repro.targets.layout.TableLayout`: the first live
+allocation of exactly ``16 * sbox_entry_bytes`` bytes is the S-box,
+the first of ``16 * segments * perm_entry_bytes`` bytes the PermBits
+scatter table.  Accesses are rebased into the canonical layout (the
+address the attack's monitor watches), tagged with their table index,
+and assigned a round by counting S-box accesses — ``segments`` S-box
+loads per round, exactly how the table-based victims behave.
+
+``strict=True`` (default) raises
+:class:`~repro.trace.errors.ExternalTraceError` with the offending
+line number on any malformed line, unknown ``free``, access to an
+unmapped address, or access outside an encryption block.
+``strict=False`` skips each offender and counts it per category in the
+returned :class:`ParseStats` — skipped-with-count, never silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..cache.geometry import CacheGeometry
+from ..targets.layout import SBOX_ENTRIES, TableLayout
+from ..targets.trace import MemoryAccess
+from .errors import ExternalTraceError
+from .format import (
+    KIND_ACCESSES,
+    EncryptionRecord,
+    TraceFile,
+    TraceHeader,
+)
+
+#: Access verbs the log may use (all equivalent: one data load).
+_ACCESS_VERBS = frozenset(
+    {"read", "write", "access", "load", "store", "r", "w"}
+)
+
+#: Allocation verbs (``malloc`` is the classic spelling).
+_ALLOC_VERBS = frozenset({"alloc", "malloc"})
+
+
+@dataclass
+class ParseStats:
+    """What the parser saw — including everything lenient mode skipped."""
+
+    lines: int = 0
+    allocations: int = 0
+    frees: int = 0
+    accesses: int = 0
+    encryptions: int = 0
+    skipped_malformed: int = 0
+    skipped_unmapped: int = 0
+    skipped_unknown_free: int = 0
+    skipped_stray: int = 0
+
+    @property
+    def skipped(self) -> int:
+        """Total skipped lines across all categories."""
+        return (self.skipped_malformed + self.skipped_unmapped
+                + self.skipped_unknown_free + self.skipped_stray)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lines": self.lines,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "accesses": self.accesses,
+            "encryptions": self.encryptions,
+            "skipped_malformed": self.skipped_malformed,
+            "skipped_unmapped": self.skipped_unmapped,
+            "skipped_unknown_free": self.skipped_unknown_free,
+            "skipped_stray": self.skipped_stray,
+        }
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 16 if token.lower().startswith("0x") else 10)
+
+
+class _Region:
+    """One live allocation, possibly bound to a canonical table."""
+
+    __slots__ = ("base", "size", "table")
+
+    def __init__(self, base: int, size: int,
+                 table: Optional[str]) -> None:
+        self.base = base
+        self.size = size
+        self.table = table
+
+
+class ExternalTraceParser:
+    """Parses malloc/free + access logs into a :class:`TraceFile`."""
+
+    def __init__(self, *, layout: Optional[TableLayout] = None,
+                 segments: int = 16, target: str = "external",
+                 strict: bool = True,
+                 geometry: Optional[CacheGeometry] = None,
+                 probe_round_offset: int = 1) -> None:
+        if segments < 1:
+            raise ValueError(f"segments must be >= 1, got {segments}")
+        self.layout = layout if layout is not None else TableLayout()
+        self.segments = segments
+        self.target = target
+        self.strict = strict
+        self.geometry = (geometry if geometry is not None
+                         else CacheGeometry())
+        self.probe_round_offset = probe_round_offset
+
+    # -- entry points --------------------------------------------------
+
+    def parse(self, lines: Union[str, Iterable[str]]
+              ) -> Tuple[TraceFile, ParseStats]:
+        """Parse log text (or an iterable of lines)."""
+        if isinstance(lines, str):
+            lines = lines.splitlines()
+        state = _ParseState(self)
+        for lineno, raw in enumerate(lines, start=1):
+            state.feed(lineno, raw)
+        return state.finish()
+
+    def parse_file(self, path: Union[str, Path]
+                   ) -> Tuple[TraceFile, ParseStats]:
+        """Parse a log file from disk."""
+        return self.parse(
+            Path(path).read_text(encoding="utf-8").splitlines()
+        )
+
+
+class _ParseState:
+    """Mutable walk state of one parse run."""
+
+    def __init__(self, parser: ExternalTraceParser) -> None:
+        self.parser = parser
+        self.stats = ParseStats()
+        self.regions: List[_Region] = []
+        self.records: List[EncryptionRecord] = []
+        self.saw_marker = False
+        self.in_block = False
+        self.plaintext: Optional[int] = None
+        self.ciphertext: Optional[int] = None
+        self.accesses: List[MemoryAccess] = []
+        self.sbox_seen = 0
+        self.max_round = 0
+
+    # -- helpers -------------------------------------------------------
+
+    def _fail(self, lineno: int, message: str, category: str) -> None:
+        if self.parser.strict:
+            raise ExternalTraceError(message, lineno)
+        setattr(self.stats, category,
+                getattr(self.stats, category) + 1)
+
+    def _region_at(self, address: int) -> Optional[_Region]:
+        for region in self.regions:
+            if region.base <= address < region.base + region.size:
+                return region
+        return None
+
+    def _bind_table(self, size: int) -> Optional[str]:
+        layout = self.parser.layout
+        bound = {region.table for region in self.regions}
+        if (size == SBOX_ENTRIES * layout.sbox_entry_bytes
+                and "sbox" not in bound):
+            return "sbox"
+        perm_size = (SBOX_ENTRIES * self.parser.segments
+                     * layout.perm_entry_bytes)
+        if size == perm_size and "perm" not in bound:
+            return "perm"
+        return None
+
+    def _close_block(self) -> None:
+        if not self.in_block and not self.accesses:
+            return
+        self.records.append(EncryptionRecord(
+            kind=KIND_ACCESSES,
+            plaintext=self.plaintext,
+            ciphertext=self.ciphertext,
+            rounds_visible=self.max_round,
+            accesses=tuple(self.accesses),
+        ))
+        self.stats.encryptions += 1
+        self.in_block = False
+        self.plaintext = None
+        self.ciphertext = None
+        self.accesses = []
+        self.sbox_seen = 0
+        self.max_round = 0
+
+    # -- line dispatch -------------------------------------------------
+
+    def feed(self, lineno: int, raw: str) -> None:
+        self.stats.lines += 1
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            return
+        tokens = line.split()
+        verb = tokens[0].lower()
+        try:
+            if verb in _ALLOC_VERBS:
+                self._feed_alloc(lineno, tokens)
+            elif verb == "free":
+                self._feed_free(lineno, tokens)
+            elif verb in _ACCESS_VERBS:
+                self._feed_access(lineno, tokens)
+            elif verb == "enc":
+                self._feed_enc(lineno, tokens)
+            elif verb == "end":
+                self._feed_end(lineno, tokens)
+            else:
+                self._fail(lineno, f"unknown verb {verb!r}",
+                           "skipped_malformed")
+        except ValueError:
+            self._fail(lineno, f"malformed operand in {line!r}",
+                       "skipped_malformed")
+
+    def _feed_alloc(self, lineno: int, tokens: List[str]) -> None:
+        if len(tokens) != 3:
+            self._fail(lineno, "alloc takes <address> <size>",
+                       "skipped_malformed")
+            return
+        base, size = _parse_int(tokens[1]), _parse_int(tokens[2])
+        if size <= 0:
+            self._fail(lineno, f"allocation size must be positive, "
+                               f"got {size}", "skipped_malformed")
+            return
+        overlapping = self._region_at(base)
+        if overlapping is not None:
+            self._fail(lineno,
+                       f"allocation at 0x{base:x} overlaps the live "
+                       f"region at 0x{overlapping.base:x}",
+                       "skipped_malformed")
+            return
+        self.regions.append(_Region(base, size, self._bind_table(size)))
+        self.stats.allocations += 1
+
+    def _feed_free(self, lineno: int, tokens: List[str]) -> None:
+        if len(tokens) != 2:
+            self._fail(lineno, "free takes <address>",
+                       "skipped_malformed")
+            return
+        base = _parse_int(tokens[1])
+        for position, region in enumerate(self.regions):
+            if region.base == base:
+                del self.regions[position]
+                self.stats.frees += 1
+                return
+        self._fail(lineno, f"free of unallocated address 0x{base:x}",
+                   "skipped_unknown_free")
+
+    def _feed_access(self, lineno: int, tokens: List[str]) -> None:
+        if len(tokens) != 2:
+            self._fail(lineno, "an access takes <address>",
+                       "skipped_malformed")
+            return
+        address = _parse_int(tokens[1])
+        if self.saw_marker and not self.in_block:
+            self._fail(lineno,
+                       f"access at 0x{address:x} outside an enc block",
+                       "skipped_stray")
+            return
+        region = self._region_at(address)
+        if region is None or region.table is None:
+            self._fail(lineno,
+                       f"access to unmapped address 0x{address:x}",
+                       "skipped_unmapped")
+            return
+        layout = self.parser.layout
+        offset = address - region.base
+        if region.table == "sbox":
+            index = offset // layout.sbox_entry_bytes
+            segment = self.sbox_seen % self.parser.segments
+            round_index = 1 + self.sbox_seen // self.parser.segments
+            self.sbox_seen += 1
+            canonical = layout.sbox_address(index)
+        else:
+            index = offset // layout.perm_entry_bytes
+            segment = index // SBOX_ENTRIES
+            round_index = max(
+                1, 1 + (self.sbox_seen - 1) // self.parser.segments
+            )
+            canonical = layout.perm_base + layout.perm_entry_bytes * index
+        self.accesses.append(MemoryAccess(
+            address=canonical, round_index=round_index,
+            segment=segment, table=region.table, index=index,
+        ))
+        self.max_round = max(self.max_round, round_index)
+        self.stats.accesses += 1
+
+    def _feed_enc(self, lineno: int, tokens: List[str]) -> None:
+        if len(tokens) not in (2, 3):
+            self._fail(lineno, "enc takes <plaintext-hex> "
+                               "[<ciphertext-hex>]", "skipped_malformed")
+            return
+        plaintext = int(tokens[1], 16)
+        ciphertext = int(tokens[2], 16) if len(tokens) == 3 else None
+        # A new marker implicitly closes the previous block.
+        self._close_block()
+        self.saw_marker = True
+        self.in_block = True
+        self.plaintext = plaintext
+        self.ciphertext = ciphertext
+
+    def _feed_end(self, lineno: int, tokens: List[str]) -> None:
+        if not self.in_block:
+            self._fail(lineno, "end without a matching enc",
+                       "skipped_stray")
+            return
+        self._close_block()
+
+    # -- result --------------------------------------------------------
+
+    def finish(self) -> Tuple[TraceFile, ParseStats]:
+        self._close_block()
+        parser = self.parser
+        rounds = max(
+            (record.rounds_visible for record in self.records), default=0
+        )
+        header = TraceHeader(
+            target=parser.target,
+            width=4 * parser.segments,
+            rounds=max(1, rounds),
+            seed=None,
+            scope="external",
+            probe_round_offset=parser.probe_round_offset,
+            geometry=parser.geometry,
+            layout=parser.layout,
+            meta={"source": "external-log",
+                  "stats": self.stats.as_dict()},
+        )
+        return TraceFile(header=header,
+                         records=tuple(self.records)), self.stats
+
+
+def parse_external_log(lines: Union[str, Iterable[str]],
+                       **options: object
+                       ) -> Tuple[TraceFile, ParseStats]:
+    """One-shot convenience wrapper around
+    :class:`ExternalTraceParser`."""
+    return ExternalTraceParser(**options).parse(lines)  # type: ignore[arg-type]

@@ -1,0 +1,250 @@
+"""The JSONL twin of the binary trace encoding.
+
+One JSON object per line: the first line is the header (tagged with
+``"format": "grinch-trace"`` and the format version), every following
+line is one :class:`~repro.trace.format.EncryptionRecord` in execution
+order.  The encoding is canonical (sorted keys, no whitespace), so
+``binary -> JSONL -> binary`` is byte-for-byte lossless and
+``JSONL -> binary -> JSONL`` reproduces the exact text — the CI
+round-trip job asserts both directions.
+
+Plaintext/ciphertext are fixed-width hex strings (human-greppable, and
+width-exact so the round trip is lossless for any state width).  The
+access rows are compact arrays ``[address, round_index, segment,
+table_index, index]`` against the header's table-name table, exactly
+like the binary encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..cache.geometry import CacheGeometry
+from ..targets.layout import TableLayout
+from ..targets.trace import MemoryAccess
+from .errors import TraceFormatError, TraceVersionError
+from .format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    KIND_ACCESSES,
+    KIND_INDICES,
+    EncryptionRecord,
+    TraceFile,
+    TraceHeader,
+)
+
+#: Preferred file suffix of the JSONL encoding.
+JSONL_SUFFIX = ".jsonl"
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _hex(value: Optional[int], width: int) -> Optional[str]:
+    if value is None:
+        return None
+    return f"{value:0{(width + 3) // 4}x}"
+
+
+def _unhex(text: Optional[Any], what: str) -> Optional[int]:
+    if text is None:
+        return None
+    if not isinstance(text, str):
+        raise TraceFormatError(f"{what} must be a hex string or null")
+    try:
+        return int(text, 16)
+    except ValueError:
+        raise TraceFormatError(
+            f"{what} is not valid hexadecimal: {text!r}"
+        ) from None
+
+
+def _header_object(header: TraceHeader) -> Dict[str, Any]:
+    geometry = header.geometry
+    layout = header.layout
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "target": header.target,
+        "width": header.width,
+        "rounds": header.rounds,
+        "seed": header.seed,
+        "scope": header.scope,
+        "probe_round_offset": header.probe_round_offset,
+        "geometry": {
+            "total_lines": geometry.total_lines,
+            "ways": geometry.ways,
+            "line_words": geometry.line_words,
+            "word_bytes": geometry.word_bytes,
+        },
+        "geometry_preset": header.geometry_preset,
+        "layout": {
+            "sbox_base": layout.sbox_base,
+            "sbox_entry_bytes": layout.sbox_entry_bytes,
+            "perm_base": layout.perm_base,
+            "perm_entry_bytes": layout.perm_entry_bytes,
+        },
+        "probing_round": header.probing_round,
+        "use_flush": header.use_flush,
+        "probe_strategy": header.probe_strategy,
+        "tables": list(header.tables),
+        "meta": header.meta,
+    }
+
+
+def _record_object(record: EncryptionRecord, header: TraceHeader
+                   ) -> Dict[str, Any]:
+    obj: Dict[str, Any] = {
+        "kind": record.kind,
+        "plaintext": _hex(record.plaintext, header.width),
+        "ciphertext": _hex(record.ciphertext, header.width),
+        "rounds_visible": record.rounds_visible,
+    }
+    if record.kind == KIND_ACCESSES:
+        obj["accesses"] = [
+            [access.address, access.round_index, access.segment,
+             header.table_index(access.table), access.index]
+            for access in record.accesses
+        ]
+    elif record.kind == KIND_INDICES:
+        obj["indices"] = [list(row) for row in record.indices]
+    return obj
+
+
+def dump_jsonl(trace: TraceFile) -> str:
+    """Serialize ``trace`` as canonical JSON lines (trailing newline)."""
+    lines = [_canonical(_header_object(trace.header))]
+    lines.extend(
+        _canonical(_record_object(record, trace.header))
+        for record in trace.records
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(trace: TraceFile, path: Union[str, Path]) -> int:
+    """Write the JSONL encoding to ``path``; returns the byte count."""
+    data = dump_jsonl(trace).encode("utf-8")
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def _require(obj: Dict[str, Any], key: str, what: str) -> Any:
+    if key not in obj:
+        raise TraceFormatError(f"{what} is missing the {key!r} field")
+    return obj[key]
+
+
+def _parse_header(obj: Dict[str, Any]) -> TraceHeader:
+    if not isinstance(obj, dict):
+        raise TraceFormatError("header line is not a JSON object")
+    if obj.get("format") != FORMAT_NAME:
+        raise TraceFormatError(
+            f"header does not declare format {FORMAT_NAME!r} "
+            f"(got {obj.get('format')!r})"
+        )
+    version = obj.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceVersionError(
+            f"trace format version {version} is not supported "
+            f"(this reader speaks version {FORMAT_VERSION})"
+        )
+    geometry = _require(obj, "geometry", "header")
+    layout = _require(obj, "layout", "header")
+    try:
+        return TraceHeader(
+            target=_require(obj, "target", "header"),
+            width=_require(obj, "width", "header"),
+            rounds=_require(obj, "rounds", "header"),
+            seed=obj.get("seed"),
+            scope=_require(obj, "scope", "header"),
+            probe_round_offset=_require(obj, "probe_round_offset",
+                                        "header"),
+            geometry=CacheGeometry(**geometry),
+            layout=TableLayout(**layout),
+            probing_round=_require(obj, "probing_round", "header"),
+            use_flush=_require(obj, "use_flush", "header"),
+            probe_strategy=_require(obj, "probe_strategy", "header"),
+            tables=tuple(_require(obj, "tables", "header")),
+            meta=obj.get("meta", {}),
+        )
+    except (TypeError, ValueError) as error:
+        raise TraceFormatError(f"corrupt header: {error}") from None
+
+
+def _parse_record(obj: Dict[str, Any], header: TraceHeader,
+                  lineno: int) -> EncryptionRecord:
+    what = f"record on line {lineno}"
+    if not isinstance(obj, dict):
+        raise TraceFormatError(f"{what} is not a JSON object")
+    kind = _require(obj, "kind", what)
+    accesses: Tuple[MemoryAccess, ...] = ()
+    indices: Tuple[Tuple[int, ...], ...] = ()
+    if kind == KIND_ACCESSES:
+        rows = _require(obj, "accesses", what)
+        items: List[MemoryAccess] = []
+        for row in rows:
+            if not isinstance(row, list) or len(row) != 5:
+                raise TraceFormatError(
+                    f"{what}: access rows must be 5-element arrays"
+                )
+            address, round_index, segment, table_idx, index = row
+            if not isinstance(table_idx, int) \
+                    or not 0 <= table_idx < len(header.tables):
+                raise TraceFormatError(
+                    f"{what}: table index {table_idx!r} out of range"
+                )
+            items.append(MemoryAccess(
+                address=address, round_index=round_index,
+                segment=segment, table=header.tables[table_idx],
+                index=index,
+            ))
+        accesses = tuple(items)
+    elif kind == KIND_INDICES:
+        indices = tuple(
+            tuple(row) for row in _require(obj, "indices", what)
+        )
+    try:
+        return EncryptionRecord(
+            kind=kind,
+            plaintext=_unhex(obj.get("plaintext"), f"{what} plaintext"),
+            ciphertext=_unhex(obj.get("ciphertext"),
+                              f"{what} ciphertext"),
+            rounds_visible=_require(obj, "rounds_visible", what),
+            accesses=accesses,
+            indices=indices,
+        )
+    except (TypeError, ValueError) as error:
+        raise TraceFormatError(f"{what}: {error}") from None
+
+
+def load_jsonl(text: str) -> TraceFile:
+    """Decode JSONL text; raises typed errors on any malformation."""
+    lines = text.splitlines()
+    if not lines or not lines[0].strip():
+        raise TraceFormatError("empty JSONL trace (no header line)")
+    parsed: List[Tuple[int, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            parsed.append((lineno, json.loads(line)))
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(
+                f"line {lineno} is not valid JSON: {error}"
+            ) from None
+    header = _parse_header(parsed[0][1])
+    records = tuple(
+        _parse_record(obj, header, lineno) for lineno, obj in parsed[1:]
+    )
+    try:
+        return TraceFile(header=header, records=records)
+    except ValueError as error:
+        raise TraceFormatError(str(error)) from None
+
+
+def read_jsonl(path: Union[str, Path]) -> TraceFile:
+    """Read and decode a JSONL trace file."""
+    return load_jsonl(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,57 @@
+"""E18 — the trace-replay experiment over the golden corpus."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import get as get_experiment, run_experiment
+from repro.engine.replay import DEFAULT_TRACES, _replay_plan
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestRegistration:
+    def test_resolvable_by_name_id_and_alias(self):
+        for key in ("trace_replay", "E18", "trace-replay", "replay",
+                    "e18"):
+            assert get_experiment(key).name == "trace_replay"
+
+    def test_default_traces_exist(self):
+        for path_text in DEFAULT_TRACES:
+            assert (REPO_ROOT / path_text).is_file(), path_text
+
+
+class TestPlan:
+    def test_cells_carry_content_digests(self):
+        plans = _replay_plan({"traces": ",".join(DEFAULT_TRACES)})
+        assert len(plans) == len(DEFAULT_TRACES)
+        for plan in plans:
+            assert len(plan.cell["sha256"]) == 64
+            assert plan.cell["scope"] in ("full-key", "first-round")
+            assert plan.trials == 1
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            _replay_plan({"traces": " , "})
+
+
+class TestRun:
+    def test_full_corpus_replays_and_matches(self):
+        record = run_experiment("trace_replay", use_cache=False)
+        assert record["summary"]["traces"] == len(DEFAULT_TRACES)
+        assert record["summary"]["all_recovered"] is True
+        assert record["summary"]["all_match_recording"] is True
+        for cell in record["cells"]:
+            assert cell["matches_recording"] is True
+            assert cell["windows_left"] == 0
+
+    def test_single_trace_subset(self):
+        record = run_experiment(
+            "trace_replay",
+            {"traces": "tests/corpus/gift64-seed0-full.grtr"},
+            use_cache=False,
+        )
+        assert len(record["cells"]) == 1
+        cell = record["cells"][0]
+        assert cell["encryptions"] == 464
+        assert cell["recovered"] is True

@@ -29,11 +29,18 @@ class TestTopLevelExports:
         import repro.gift
         import repro.present
         import repro.soc
+        import repro.trace
 
         for module in (repro.analysis, repro.cache, repro.core,
                        repro.countermeasures, repro.gift, repro.present,
-                       repro.soc):
+                       repro.soc, repro.trace):
             assert module.__doc__
+
+    def test_trace_exports_resolve(self):
+        import repro.trace
+
+        for name in repro.trace.__all__:
+            assert getattr(repro.trace, name) is not None
 
     def test_convenience_wrapper(self):
         result = repro.recover_full_key(

@@ -1,0 +1,42 @@
+"""Shared fixtures for the L0 trace tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import (
+    KIND_ACCESSES,
+    KIND_INDICES,
+    KIND_PAIR,
+    EncryptionRecord,
+    TraceFile,
+    TraceHeader,
+)
+from repro.targets.trace import MemoryAccess
+
+
+@pytest.fixture
+def header():
+    """A default GIFT-64-shaped header."""
+    return TraceHeader(target="gift64", width=64, rounds=28, seed=0)
+
+
+@pytest.fixture
+def small_trace(header):
+    """A tiny but kind-complete trace file."""
+    indices = tuple(tuple((i + j) % 16 for i in range(16))
+                    for j in range(2))
+    accesses = tuple(
+        MemoryAccess(address=header.layout.sbox_address(i),
+                     round_index=1, segment=i, table="sbox", index=i)
+        for i in range(16)
+    )
+    return TraceFile(header=header, records=(
+        EncryptionRecord(kind=KIND_INDICES, plaintext=0x0123,
+                         rounds_visible=2, indices=indices),
+        EncryptionRecord(kind=KIND_ACCESSES, plaintext=0x4567,
+                         ciphertext=0x89AB, rounds_visible=1,
+                         accesses=accesses),
+        EncryptionRecord(kind=KIND_PAIR, plaintext=0xCDEF,
+                         ciphertext=0xFEDC),
+    ))

@@ -1,0 +1,144 @@
+"""The ``python -m repro trace`` front-end."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.seeding import derive_key
+from repro.trace import read_binary, read_jsonl
+from repro.tracecli import main as trace_main
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+class TestRecord:
+    def test_record_replay_check(self, tmp_path, capsys):
+        out = tmp_path / "run.grtr"
+        assert trace_main(["record", "--target", "gift64", "--seed", "0",
+                           "--scope", "first-round",
+                           "--out", str(out)]) == 0
+        assert out.is_file()
+        assert trace_main(["replay", str(out), "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "replay matches the recording" in captured.out
+
+    def test_record_is_deterministic(self, tmp_path):
+        paths = [tmp_path / "a.grtr", tmp_path / "b.grtr"]
+        for path in paths:
+            assert trace_main(["record", "--target", "present80",
+                               "--seed", "3", "--scope", "first-round",
+                               "--out", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_record_matches_committed_corpus(self, tmp_path):
+        """A fresh seed-0 recording is byte-identical to the corpus."""
+        out = tmp_path / "fresh.grtr"
+        assert trace_main(["record", "--target", "gift64", "--seed", "0",
+                           "--scope", "full-key",
+                           "--out", str(out)]) == 0
+        committed = (CORPUS_DIR / "gift64-seed0-full.grtr").read_bytes()
+        assert out.read_bytes() == committed
+
+    def test_record_jsonl_output(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert trace_main(["record", "--target", "gift64", "--seed", "0",
+                           "--scope", "first-round",
+                           "--out", str(out)]) == 0
+        trace = read_jsonl(out)
+        assert trace.header.target == "gift64"
+        assert trace.windows == 116
+
+    def test_record_stamps_meta(self, tmp_path):
+        out = tmp_path / "run.grtr"
+        trace_main(["record", "--target", "gift64", "--seed", "0",
+                    "--scope", "full-key", "--out", str(out)])
+        meta = read_binary(out).header.meta
+        assert meta["recovered"] is True
+        assert meta["total_encryptions"] == 464
+        assert int(meta["master_key"], 16) == derive_key(128, 0)
+
+
+class TestReplay:
+    def test_check_catches_tamper(self, tmp_path, capsys):
+        import json
+
+        from repro.trace import dump_jsonl, load_jsonl, read_binary, \
+            write_binary
+
+        trace = read_binary(CORPUS_DIR / "gift64-seed0-full.grtr")
+        lines = dump_jsonl(trace).splitlines()
+        header = json.loads(lines[0])
+        header["meta"]["total_encryptions"] = 999
+        lines[0] = json.dumps(header, sort_keys=True,
+                              separators=(",", ":"))
+        tampered = tmp_path / "tampered.grtr"
+        write_binary(load_jsonl("\n".join(lines)), tampered)
+        assert trace_main(["replay", str(tampered), "--check"]) == 1
+        assert "effort drift" in capsys.readouterr().err
+
+    def test_corrupt_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.grtr"
+        bad.write_bytes(b"GRTR" + b"\x00" * 10)
+        assert trace_main(["replay", str(bad)]) == 2
+        assert "trace error" in capsys.readouterr().err
+
+    def test_missing_file_is_a_clean_error(self, capsys):
+        assert trace_main(["replay", "/nonexistent/trace.grtr"]) == 2
+        assert "trace error" in capsys.readouterr().err
+
+
+class TestConvertAndInfo:
+    def test_binary_jsonl_binary_is_byte_identical(self, tmp_path):
+        source = CORPUS_DIR / "gift64-seed0-first.grtr"
+        middle = tmp_path / "mid.jsonl"
+        back = tmp_path / "back.grtr"
+        assert trace_main(["convert", str(source), str(middle)]) == 0
+        assert trace_main(["convert", str(middle), str(back)]) == 0
+        assert back.read_bytes() == source.read_bytes()
+
+    def test_external_log_conversion(self, tmp_path):
+        log = tmp_path / "victim.log"
+        log.write_text(
+            "alloc 0x55a0 16\nenc 0123\nread 0x55a3\nend\n",
+            encoding="utf-8",
+        )
+        out = tmp_path / "ext.grtr"
+        assert trace_main(["convert", str(log), str(out)]) == 0
+        trace = read_binary(out)
+        assert trace.header.target == "external"
+        assert trace.records[0].accesses[0].index == 3
+
+    def test_lenient_flag_reaches_parser(self, tmp_path, capsys):
+        log = tmp_path / "victim.log"
+        log.write_text("alloc 0x55a0 16\nbogus\nread 0x55a1\n",
+                       encoding="utf-8")
+        out = tmp_path / "ext.grtr"
+        assert trace_main(["convert", str(log), str(out)]) == 2
+        assert trace_main(["convert", str(log), str(out),
+                           "--lenient"]) == 0
+        assert "skipped 1 lines" in capsys.readouterr().err
+
+    def test_info(self, capsys):
+        assert trace_main(
+            ["info", str(CORPUS_DIR / "gift64-seed0-full.grtr")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gift64" in out
+        assert "464 windows" in out
+        assert "full-key" in out
+
+
+class TestTopLevelWiring:
+    def test_repro_trace_dispatches(self, capsys):
+        code = repro_main(
+            ["trace", "info",
+             str(CORPUS_DIR / "present80-seed0-full.grtr")]
+        )
+        assert code == 0
+        assert "present80" in capsys.readouterr().out
+
+    def test_trace_in_top_level_help(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["--help"])
+        assert "trace" in capsys.readouterr().out

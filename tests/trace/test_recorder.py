@@ -1,0 +1,168 @@
+"""Recording wrappers: capture without perturbation.
+
+The load-bearing property is RNG transparency — the pinned seed-0
+GIFT-64 full-key recovery must still take exactly 464 encryptions
+with a recorder in the loop, on both observer paths.
+"""
+
+import pytest
+
+from repro.channel.observer import ObservationChannel
+from repro.channel.transport import SingleLevelTransport
+from repro.core.attack import GrinchAttack
+from repro.core.config import AttackConfig
+from repro.seeding import derive_key
+from repro.targets.registry import get_target
+from repro.targets.trace import MemoryAccess
+from repro.trace import (
+    KIND_PAIR,
+    EncryptionRecord,
+    RecordingTransport,
+    RecordingVictim,
+    TraceError,
+    TraceHeader,
+    TraceRecorder,
+)
+
+#: The pinned effort invariant from tests/channel/test_observer.py.
+PINNED_GIFT64_SEED0 = 464
+
+
+def _gift64_setup(config):
+    target = get_target("gift64")
+    key = derive_key(target.key_bits, 0)
+    victim = target.make_victim(key)
+    header = TraceHeader.for_victim("gift64", victim, config,
+                                    scope="full-key")
+    return key, victim, header
+
+
+class TestTraceRecorder:
+    def test_single_capture_point(self, header):
+        recorder = TraceRecorder(header)
+        recorder.attach("victim")
+        recorder.attach("victim")  # same point twice is fine
+        with pytest.raises(TraceError):
+            recorder.attach("transport")
+
+    def test_unknown_capture_point(self, header):
+        with pytest.raises(TraceError):
+            TraceRecorder(header).attach("oscilloscope")
+
+    def test_open_window_closed_by_record(self, header):
+        recorder = TraceRecorder(header)
+        recorder.append_raw_access(MemoryAccess(
+            address=0x1000, round_index=0, segment=-1, table="sbox",
+            index=0,
+        ))
+        assert recorder.windows == 1
+        recorder.record(EncryptionRecord(kind=KIND_PAIR, plaintext=1,
+                                         ciphertext=2))
+        trace = recorder.to_trace_file()
+        assert trace.windows == 1
+        assert trace.pairs == 1
+        # The raw window must precede the pair that closed it.
+        assert trace.records[0].is_window
+        assert trace.records[1].kind == KIND_PAIR
+
+
+class TestRecordingVictimTransparency:
+    def test_fast_path_pinned_effort(self):
+        config = AttackConfig(seed=0)
+        key, victim, header = _gift64_setup(config)
+        recorder = TraceRecorder(header)
+        attack = GrinchAttack(RecordingVictim(victim, recorder), config)
+        result = attack.recover_master_key()
+        assert result.master_key == key
+        assert result.verified
+        assert result.total_encryptions == PINNED_GIFT64_SEED0
+        trace = recorder.to_trace_file()
+        assert trace.windows == PINNED_GIFT64_SEED0
+        assert trace.pairs == 1
+
+    def test_full_path_pinned_effort(self):
+        config = AttackConfig(seed=0, use_fast_path=False)
+        key, victim, header = _gift64_setup(config)
+        recorder = TraceRecorder(header)
+        attack = GrinchAttack(RecordingVictim(victim, recorder), config)
+        result = attack.recover_master_key()
+        assert result.master_key == key
+        assert result.total_encryptions == PINNED_GIFT64_SEED0
+        assert recorder.to_trace_file().windows == PINNED_GIFT64_SEED0
+
+    def test_delegation_preserves_victim_surface(self):
+        config = AttackConfig(seed=0)
+        _, victim, header = _gift64_setup(config)
+        wrapped = RecordingVictim(victim, TraceRecorder(header))
+        assert wrapped.width == victim.width
+        assert wrapped.rounds == victim.rounds
+        assert wrapped.layout == victim.layout
+        # Target resolution must see the wrapped victim exactly.
+        from repro.targets.registry import resolve_target_for
+        assert resolve_target_for(wrapped) is resolve_target_for(victim)
+
+    def test_return_values_untouched(self):
+        config = AttackConfig(seed=0)
+        _, victim, header = _gift64_setup(config)
+        recorder = TraceRecorder(header)
+        wrapped = RecordingVictim(victim, recorder)
+        plaintext = 0x0123_4567_89AB_CDEF
+        assert wrapped.encrypt(plaintext) == victim.encrypt(plaintext)
+        assert (wrapped.sbox_indices_by_round(plaintext, 2)
+                == victim.sbox_indices_by_round(plaintext, 2))
+        recorded = recorder.to_trace_file()
+        assert recorded.pairs == 1
+        assert recorded.windows == 1
+        assert recorded.records[0].plaintext == plaintext
+
+
+class TestRecordingTransport:
+    def test_transport_level_capture(self):
+        config = AttackConfig(seed=0, use_fast_path=False)
+        key, victim, header = _gift64_setup(config)
+        recorder = TraceRecorder(header)
+        transport = RecordingTransport(
+            SingleLevelTransport(config.geometry), recorder
+        )
+        runner = ObservationChannel(victim, config, transport=transport)
+        result = GrinchAttack(victim, config, runner=runner) \
+            .recover_master_key()
+        assert result.master_key == key
+        assert result.total_encryptions == PINNED_GIFT64_SEED0
+        trace = recorder.to_trace_file()
+        # The known pair bypasses the transport, so windows only.
+        assert trace.windows == PINNED_GIFT64_SEED0
+        assert trace.pairs == 0
+        window = next(r for r in trace.records if r.is_window)
+        assert all(a.table in ("sbox", "perm", "other")
+                   for a in window.accesses)
+
+    def test_capability_flags_delegate(self, header):
+        inner = SingleLevelTransport(AttackConfig().geometry)
+        wrapped = RecordingTransport(inner, TraceRecorder(header))
+        assert wrapped.supports_fast_path == inner.supports_fast_path
+        assert wrapped.supports_prime_probe == inner.supports_prime_probe
+        assert wrapped.line_bytes == inner.line_bytes
+
+    def test_attacker_traffic_not_recorded(self, header):
+        recorder = TraceRecorder(header)
+        wrapped = RecordingTransport(
+            SingleLevelTransport(AttackConfig().geometry), recorder
+        )
+        wrapped.access(0x1000)
+        wrapped.flush_line(0x1000)
+        assert recorder.to_trace_file().windows == 0
+
+    def test_probe_then_victim_splits_windows(self, header):
+        recorder = TraceRecorder(header)
+        wrapped = RecordingTransport(
+            SingleLevelTransport(AttackConfig().geometry), recorder
+        )
+        wrapped.victim_access(0x1000)
+        wrapped.victim_access(0x1001)
+        wrapped.access(0x1000)        # attacker reload: probe ran
+        wrapped.victim_access(0x1002)  # next victim access = new window
+        trace = recorder.to_trace_file()
+        assert trace.windows == 2
+        assert len(trace.records[0].accesses) == 2
+        assert len(trace.records[1].accesses) == 1

@@ -1,0 +1,167 @@
+"""Replay: recorded traces drive the unchanged pipeline, no cipher."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.attack import GrinchAttack
+from repro.core.config import AttackConfig
+from repro.seeding import derive_key
+from repro.targets.registry import get_target
+from repro.trace import (
+    KIND_PAIR,
+    EncryptionRecord,
+    RecordingVictim,
+    ReplayTransport,
+    ReplayVictim,
+    TraceExhaustedError,
+    TraceFile,
+    TraceHeader,
+    TraceMismatchError,
+    TraceRecorder,
+)
+
+
+def _record_full_key(target_name, seed=0, **config_overrides):
+    target = get_target(target_name)
+    key = derive_key(target.key_bits, seed)
+    victim = target.make_victim(key)
+    config = AttackConfig(seed=seed, **config_overrides)
+    header = TraceHeader.for_victim(target_name, victim, config,
+                                    scope="full-key")
+    recorder = TraceRecorder(header)
+    result = GrinchAttack(RecordingVictim(victim, recorder), config) \
+        .recover_master_key()
+    return key, config, result, recorder.to_trace_file()
+
+
+class TestReplayVictim:
+    def test_full_key_without_cipher(self):
+        key, config, live, trace = _record_full_key("gift64")
+        replayed = GrinchAttack(ReplayVictim(trace), config) \
+            .recover_master_key()
+        assert replayed.master_key == key
+        assert replayed.verified
+        assert replayed.total_encryptions == live.total_encryptions
+        assert replayed.encryptions_by_round == live.encryptions_by_round
+
+    def test_full_path_replay(self):
+        key, config, live, trace = _record_full_key(
+            "gift64", use_fast_path=False
+        )
+        replayed = GrinchAttack(ReplayVictim(trace), config) \
+            .recover_master_key()
+        assert replayed.master_key == key
+        assert replayed.total_encryptions == live.total_encryptions
+
+    def test_present_replay(self):
+        key, config, live, trace = _record_full_key("present80")
+        replayed = GrinchAttack(ReplayVictim(trace), config) \
+            .recover_master_key()
+        assert replayed.master_key == key
+        assert replayed.total_encryptions == live.total_encryptions
+
+    def test_attack_surface_comes_from_header(self):
+        _, _, _, trace = _record_full_key("gift64")
+        victim = ReplayVictim(trace)
+        header = trace.header
+        assert victim.width == header.width
+        assert victim.rounds == header.rounds
+        assert victim.layout == header.layout
+        assert victim.attack_target == header.target
+        assert victim.probe_round_offset == header.probe_round_offset
+
+    def test_strict_plaintext_drift_raises(self):
+        _, _, _, trace = _record_full_key("gift64")
+        victim = ReplayVictim(trace)
+        first = trace.records[0]
+        wrong = (first.plaintext or 0) ^ 1
+        with pytest.raises(TraceMismatchError):
+            victim.sbox_indices_by_round(wrong, 1)
+
+    def test_strict_kind_drift_raises(self):
+        _, _, _, trace = _record_full_key("gift64")
+        victim = ReplayVictim(trace)
+        first = trace.records[0]
+        assert first.is_window
+        with pytest.raises(TraceMismatchError):
+            victim.encrypt(first.plaintext)
+
+    def test_loose_mode_skips_interleaved_kinds(self):
+        _, _, _, trace = _record_full_key("gift64")
+        victim = ReplayVictim(trace, strict=False)
+        pair = next(r for r in trace.records if r.kind == KIND_PAIR)
+        # Skips every window on the way to the single known pair.
+        assert victim.encrypt(pair.plaintext) == pair.ciphertext
+
+    def test_exhaustion_is_typed(self, header):
+        trace = TraceFile(header=header, records=(
+            EncryptionRecord(kind=KIND_PAIR, plaintext=1, ciphertext=2),
+        ))
+        victim = ReplayVictim(trace)
+        assert victim.encrypt(1) == 2
+        with pytest.raises(TraceExhaustedError):
+            victim.encrypt(1)
+        with pytest.raises(TraceExhaustedError):
+            victim.sbox_indices_by_round(1, 1)
+
+    def test_short_window_raises(self, header):
+        rows = (tuple(range(16)),)
+        trace = TraceFile(header=header, records=(
+            EncryptionRecord(kind="indices", plaintext=None,
+                             rounds_visible=1, indices=rows),
+        ))
+        with pytest.raises(TraceMismatchError):
+            ReplayVictim(trace).sbox_indices_by_round(0, 3)
+
+    def test_counters(self):
+        _, config, _, trace = _record_full_key("gift64")
+        victim = ReplayVictim(trace)
+        GrinchAttack(victim, config).recover_master_key()
+        assert victim.pairs_served == 1
+        assert victim.windows_served == trace.windows
+        assert victim.remaining == 0
+
+
+class TestReplayTransport:
+    def test_play_feeds_victim_traffic(self):
+        _, _, _, trace = _record_full_key("gift64",
+                                          use_fast_path=False)
+        transport = ReplayTransport.for_trace(trace)
+        window = next(r for r in trace.records if r.is_window)
+        played = transport.play(window, header=trace.header)
+        assert played == len(window.accesses)
+        # A played S-box line is now resident: reload hits.
+        assert transport.access(window.accesses[0].address)
+
+    def test_play_indices_needs_header(self):
+        _, _, _, trace = _record_full_key("gift64")  # fast path: indices
+        transport = ReplayTransport.for_trace(trace)
+        window = next(r for r in trace.records if r.is_window)
+        with pytest.raises(TraceMismatchError):
+            transport.play(window)
+        assert transport.play(window, header=trace.header) > 0
+
+    def test_play_respects_round_limit(self):
+        _, _, _, trace = _record_full_key("gift64")
+        transport = ReplayTransport.for_trace(trace)
+        window = next(r for r in trace.records if r.is_window)
+        all_rounds = transport.cold().play(window, header=trace.header)
+        one_round = transport.cold().play(window, header=trace.header,
+                                          through_round=1)
+        assert one_round == trace.header.segments
+        assert all_rounds > one_round
+
+    def test_pair_plays_nothing(self):
+        _, _, _, trace = _record_full_key("gift64")
+        transport = ReplayTransport.for_trace(trace)
+        pair = next(r for r in trace.records if r.kind == KIND_PAIR)
+        assert transport.play(pair) == 0
+
+    def test_geometry_check(self):
+        _, _, _, trace = _record_full_key("gift64")
+        transport = ReplayTransport.for_trace(trace)
+        transport.check_geometry(trace.header.geometry)
+        wide = dataclasses.replace(trace.header.geometry, line_words=8)
+        with pytest.raises(ValueError):
+            transport.check_geometry(wide)
