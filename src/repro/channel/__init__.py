@@ -36,6 +36,7 @@ from .degradation import (
 from .monitor import SboxMonitor
 from .observer import (
     ObservationChannel,
+    WindowBatch,
     WindowObservation,
     encryption_latency,
     hit_miss_trace,
@@ -68,6 +69,7 @@ __all__ = [
     "jitter_from_platform",
     "SboxMonitor",
     "ObservationChannel",
+    "WindowBatch",
     "WindowObservation",
     "encryption_latency",
     "hit_miss_trace",

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import Any, FrozenSet, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -228,6 +228,59 @@ class LossyChannel:
                 if rng.random() >= self.miss_probability
             }
         return frozenset(surviving)
+
+    def batch_draws_per_window(self, monitored_lines: int) -> int:
+        """Uniform draws :meth:`drop_lines_batch` consumes per window.
+
+        Fixed per window regardless of content: one eviction-occurrence
+        draw, one eviction-choice draw, and one miss draw per monitored
+        line — the invariant that makes the batch stream independent of
+        batch boundaries (see :meth:`drop_lines_batch`).
+        """
+        return 2 + monitored_lines
+
+    def drop_lines_batch(self, observations: Sequence[FrozenSet[int]],
+                         monitored_lines: Sequence[int],
+                         generator: Any) -> List[FrozenSet[int]]:
+        """Vectorized :meth:`drop_lines` over a whole window batch.
+
+        ``generator`` is a dedicated ``numpy.random.Generator`` stream
+        (never the scalar loss ``random.Random`` — scalar runs must
+        keep their exact pre-batch draw sequence).  All randomness for
+        the batch is drawn as ONE C-order ``(count, draws_per_window)``
+        matrix, so row ``k`` is always window ``k``'s draws: splitting
+        the same window sequence into different batch sizes consumes
+        the stream identically and reproduces identical degradations.
+
+        Per window the draw layout is ``[eviction-occurs,
+        eviction-choice, miss(line_0), ..., miss(line_L-1)]`` with
+        lines in ``monitored_lines`` order; the surviving-line
+        semantics match :meth:`drop_lines` draw-for-distribution
+        (eviction with chance ``eviction_rate`` of one uniformly
+        chosen monitored line, then an independent per-line signal
+        miss).
+        """
+        lines = list(monitored_lines)
+        index_of = {line: column for column, line in enumerate(lines)}
+        draws = generator.random(
+            (len(observations), self.batch_draws_per_window(len(lines)))
+        )
+        degraded: List[FrozenSet[int]] = []
+        for row, observed in zip(draws, observations):
+            surviving = set(observed)
+            if surviving:
+                if (self.eviction_rate > 0.0 and lines
+                        and row[0] < self.eviction_rate):
+                    chosen = min(int(row[1] * len(lines)), len(lines) - 1)
+                    surviving.discard(lines[chosen])
+                if self.miss_probability > 0.0:
+                    surviving = {
+                        line for line in surviving
+                        if line not in index_of
+                        or row[2 + index_of[line]] >= self.miss_probability
+                    }
+            degraded.append(frozenset(surviving))
+        return degraded
 
     def expected_target_presence(self, monitored_lines: int,
                                  probing_round: int) -> float:

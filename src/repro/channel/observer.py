@@ -68,6 +68,43 @@ class WindowObservation:
         return sum(1 for hit in self.hit_miss if not hit)
 
 
+@dataclass(frozen=True)
+class WindowBatch:
+    """A whole batch's window signals as one 2-D hit/miss array.
+
+    ``hit_miss[n][k]`` is window ``n``'s ``k``-th monitored S-box load
+    (rounds ascending, segments ascending within a round — the scalar
+    trace order), ``True`` for a cache hit.  Rows are numpy arrays on
+    the vectorized path and plain tuples on the scalar fallback; both
+    index identically and :meth:`observation` converts either back to
+    the scalar :class:`WindowObservation`.
+    """
+
+    hit_miss: Any  # (count, accesses) bool rows
+    latency_cycles: Any  # (count,) ints
+    accesses: int
+    first_round: int
+    last_round: int
+
+    @property
+    def count(self) -> int:
+        """Number of windows in the batch."""
+        return len(self.hit_miss)
+
+    @property
+    def misses(self) -> List[int]:
+        """Per-window miss counts."""
+        return [sum(1 for hit in row if not hit) for row in self.hit_miss]
+
+    def observation(self, index: int) -> WindowObservation:
+        """Window ``index`` as a scalar :class:`WindowObservation`."""
+        return WindowObservation(
+            hit_miss=tuple(bool(hit) for hit in self.hit_miss[index]),
+            latency_cycles=int(self.latency_cycles[index]),
+            accesses=self.accesses,
+        )
+
+
 @secret_attributes("victim")
 class ObservationChannel:
     """Runs crafted encryptions and returns channel observations.
@@ -142,6 +179,16 @@ class ObservationChannel:
         self._loss_rng = derive_rng(f"{rng_scope}-loss", config.seed)
         self._monitored_addresses = self.monitor.line_addresses()
         self.encryptions_run = 0
+        # Batch-path state, all lazy: the vectorized index source (from
+        # the victim's target), the numpy loss stream (a NEW derived
+        # stream — "{scope}-loss-batch" — so the scalar loss_rng above
+        # keeps its exact pre-batch draw sequence), and the index->line
+        # lookup array.
+        self._rng_scope = rng_scope
+        self._batch_view_resolved = False
+        self._batch_view: Optional[Any] = None
+        self._loss_batch_gen: Optional[Any] = None
+        self._lines_by_index: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Capabilities
@@ -153,6 +200,76 @@ class ObservationChannel:
         return (self.config.fast_path_applicable
                 and self.primitive.line_granular
                 and self.transport.supports_fast_path)
+
+    @property
+    def batch_path_active(self) -> bool:
+        """Whether :meth:`observe_batch` runs vectorized.
+
+        The batch path requires everything the fast path does, plus a
+        perfectly reliable per-line readout (a noisy Flush+Flush signal
+        consumes the primitive's RNG per window in scalar order), no
+        window-shifting degradation (jitter draws from the scalar loss
+        stream before each encryption), batch-aware lossy degradations
+        (:meth:`~repro.channel.degradation.LossyChannel.drop_lines_batch`),
+        and a vectorized index source for the victim.  Anything else
+        falls back to looping :meth:`observe`, which stays bit-exact
+        with the historic scalar runs.
+        """
+        if not self.fast_path_active:
+            return False
+        if self.primitive.signal_reliability != 1.0:
+            return False
+        for degradation in self.degradations:
+            if degradation.shifts_window:
+                return False
+            if (not degradation.is_lossless
+                    and not hasattr(degradation, "drop_lines_batch")):
+                return False
+        return self._resolve_batch_view() is not None
+
+    def _resolve_batch_view(self) -> Optional[Any]:
+        """The victim's vectorized index source, or ``None``.
+
+        A batch-capable victim (:class:`~repro.targets.batch.BatchVictim`)
+        is its own source; otherwise the victim's registered target is
+        asked via ``batch_view`` — which answers ``None`` for wrapped
+        victims it cannot see through (recording/replay) and for
+        targets without a bitsliced backend.
+        """
+        if not self._batch_view_resolved:
+            self._batch_view_resolved = True
+            if hasattr(self.victim, "sbox_indices_batch"):
+                self._batch_view = self.victim
+            else:
+                try:
+                    from ..targets import resolve_target_for
+
+                    target = resolve_target_for(self.victim)
+                    self._batch_view = target.batch_view(self.victim)
+                except (TypeError, KeyError, AttributeError):
+                    self._batch_view = None
+        return self._batch_view
+
+    def _batch_loss_generator(self) -> Any:
+        if self._loss_batch_gen is None:
+            import numpy
+
+            from ..seeding import derive_seed
+
+            self._loss_batch_gen = numpy.random.default_rng(
+                derive_seed(f"{self._rng_scope}-loss-batch",
+                            self.config.seed)
+            )
+        return self._loss_batch_gen
+
+    def _lines_by_index_array(self) -> Any:
+        if self._lines_by_index is None:
+            import numpy
+
+            self._lines_by_index = numpy.asarray(
+                self.monitor.line_by_index, dtype=numpy.int64
+            )
+        return self._lines_by_index
 
     @property
     def mid_flush_supported(self) -> bool:
@@ -241,6 +358,68 @@ class ObservationChannel:
         """Alias of :meth:`observe` (the pre-stack runner's name)."""
         return self.observe(plaintext, attacked_round)
 
+    def observe_batch(self, plaintexts: Sequence[int],
+                      attacked_round: int) -> List[FrozenSet[int]]:
+        """One observation per plaintext, whole-batch at once.
+
+        Capability-dispatched: when :attr:`batch_path_active` holds,
+        all encryptions run through the victim's vectorized index
+        source and lossy degradations apply as batch masks on the
+        dedicated ``"-loss-batch"`` stream (deterministic at ANY batch
+        split — see ``LossyChannel.drop_lines_batch``); otherwise this
+        is exactly ``[self.observe(p, attacked_round) for p in
+        plaintexts]``.  On a lossless channel the two paths are
+        observation-for-observation identical (the noise stream is
+        consumed per window in scalar order on both).
+        """
+        if attacked_round < 1:
+            raise ValueError(
+                f"attacked_round must be >= 1, got {attacked_round}"
+            )
+        plaintexts = list(plaintexts)
+        if not plaintexts:
+            return []
+        if not self.batch_path_active:
+            return [self.observe(plaintext, attacked_round)
+                    for plaintext in plaintexts]
+        import numpy
+
+        view = self._resolve_batch_view()
+        count = len(plaintexts)
+        self.encryptions_run += count
+        offset = getattr(self.victim, "probe_round_offset", 1)
+        monitored_round = attacked_round + offset
+        visible_through = monitored_round - 1 + self.config.probing_round
+        flush_supported = (self.config.use_flush
+                           and self.primitive.supports_mid_flush)
+        first_visible = monitored_round if flush_supported else 1
+        indices = numpy.asarray(
+            view.sbox_indices_batch(plaintexts, max_rounds=visible_through),
+            dtype=numpy.uint8,
+        )
+        # (rounds', segments, N) -> monitored lines -> per-line presence.
+        window_lines = self._lines_by_index_array()[
+            indices[first_visible - 1:]
+        ].reshape(-1, count)
+        present = {
+            line: (window_lines == line).any(axis=0)
+            for line in self.monitor.lines
+        }
+        observations: List[FrozenSet[int]] = []
+        for n in range(count):
+            observed = self.primitive.filter_observation(frozenset(
+                line for line in self.monitor.lines if present[line][n]
+            ))
+            observed |= self._noise_lines()
+            observations.append(observed)
+        for degradation in self.degradations:
+            if not degradation.is_lossless:
+                observations = degradation.drop_lines_batch(
+                    observations, self.monitor.lines,
+                    self._batch_loss_generator(),
+                )
+        return observations
+
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
@@ -326,6 +505,69 @@ class ObservationChannel:
             latencies=latencies if latencies is not None
             else MemoryLatencies(),
             surface=self.transport.cold(),
+        )
+
+    def window_batch(self, plaintexts: Sequence[int], first_round: int,
+                     last_round: int,
+                     latencies: Optional[MemoryLatencies] = None
+                     ) -> WindowBatch:
+        """Both weaker signals for a whole batch of encryptions.
+
+        Vectorized when the victim has a batch index source and the
+        transport supports the fast path (a cold single-level window
+        can never evict a monitored line, so a load hits exactly when
+        its line was touched earlier in the window); otherwise falls
+        back to looping :meth:`window`.  Both paths are asserted
+        equal window-for-window by the test suite.
+        """
+        if first_round > last_round:
+            raise ValueError(
+                f"empty round window [{first_round}, {last_round}]"
+            )
+        plaintexts = list(plaintexts)
+        cycle_costs = (latencies if latencies is not None
+                       else MemoryLatencies())
+        view = self._resolve_batch_view()
+        if view is None or not self.transport.supports_fast_path:
+            scalar = [
+                self.window(plaintext, first_round, last_round,
+                            latencies=cycle_costs)
+                for plaintext in plaintexts
+            ]
+            return WindowBatch(
+                hit_miss=tuple(obs.hit_miss for obs in scalar),
+                latency_cycles=tuple(obs.latency_cycles for obs in scalar),
+                accesses=scalar[0].accesses if scalar else 0,
+                first_round=first_round,
+                last_round=last_round,
+            )
+        import numpy
+
+        count = len(plaintexts)
+        self.encryptions_run += count
+        indices = numpy.asarray(
+            view.sbox_indices_batch(plaintexts, max_rounds=last_round),
+            dtype=numpy.uint8,
+        )
+        # Monitored loads in scalar trace order: rounds ascending,
+        # segments ascending within a round.
+        sequence = self._lines_by_index_array()[
+            indices[first_round - 1:last_round]
+        ].reshape(-1, max(count, 1))[:, :count]
+        misses = numpy.zeros(sequence.shape, dtype=bool)
+        for line in self.monitor.lines:
+            mask = sequence == line
+            misses |= mask & (numpy.cumsum(mask, axis=0) == 1)
+        hits = ~misses
+        return WindowBatch(
+            hit_miss=hits.T.copy(),
+            latency_cycles=(
+                hits.sum(axis=0) * cycle_costs.l1_hit_cycles
+                + misses.sum(axis=0) * cycle_costs.l1_miss_cycles
+            ),
+            accesses=int(sequence.shape[0]),
+            first_round=first_round,
+            last_round=last_round,
         )
 
     def hit_miss(self, plaintext: int, first_round: int, last_round: int

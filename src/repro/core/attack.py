@@ -367,35 +367,39 @@ class GrinchAttack:
         stall_window = self.config.stall_window
         previous_candidates = eliminator.candidates
         stalled_for = 0
-        for _ in range(self.config.max_encryptions_per_segment):
-            self._charge_encryption()
-            observed = self.runner.observe(
-                crafter.craft(), spec.round_index
+        remaining = self.config.max_encryptions_per_segment
+        while remaining > 0:
+            observations = self._observe_many(
+                crafter, spec.round_index,
+                min(self.config.batch_size, remaining)
             )
-            eliminator.update(observed)
-            if eliminator.contradicted:
-                return None
-            if eliminator.candidates == previous_candidates:
-                stalled_for += 1
-            else:
-                stalled_for = 0
-                previous_candidates = eliminator.candidates
-            if eliminator.converged:
-                if confirmations_left > 0:
-                    confirmations_left -= 1
-                    continue
-                return self._accept_lines(
-                    spec, eliminator.candidates, expected_line
-                )
-            if (stall_window and stalled_for >= stall_window
-                    and len(eliminator.candidates) <= 4):
-                # Persistent interference (e.g. Prime+Probe set conflicts
-                # with the PermBits table) keeps some lines hot forever;
-                # accept the stalled set and carry its ambiguity forward
-                # like the wide-line case of Section III-D.
-                return self._accept_lines(
-                    spec, eliminator.candidates, expected_line
-                )
+            remaining -= len(observations)
+            for observed in observations:
+                eliminator.update(observed)
+                if eliminator.contradicted:
+                    return None
+                if eliminator.candidates == previous_candidates:
+                    stalled_for += 1
+                else:
+                    stalled_for = 0
+                    previous_candidates = eliminator.candidates
+                if eliminator.converged:
+                    if confirmations_left > 0:
+                        confirmations_left -= 1
+                        continue
+                    return self._accept_lines(
+                        spec, eliminator.candidates, expected_line
+                    )
+                if (stall_window and stalled_for >= stall_window
+                        and len(eliminator.candidates) <= 4):
+                    # Persistent interference (e.g. Prime+Probe set
+                    # conflicts with the PermBits table) keeps some lines
+                    # hot forever; accept the stalled set and carry its
+                    # ambiguity forward like the wide-line case of
+                    # Section III-D.
+                    return self._accept_lines(
+                        spec, eliminator.candidates, expected_line
+                    )
         raise BudgetExceeded(
             f"round {spec.round_index} segment {spec.segment} did not "
             f"converge within {self.config.max_encryptions_per_segment} "
@@ -474,47 +478,57 @@ class GrinchAttack:
         stalled_for = 0
         recrafts = 0
         while spent < budget:
-            self._charge_encryption()
-            spent += 1
-            voter.update(self.runner.observe(
-                crafter.craft(), spec.round_index
-            ))
-            if voter.rejected or (
-                    expected_line is not None
-                    and not voter.is_viable(expected_line)):
-                return _VotingVerdict("rejected", None, (),
-                                      voter.confidence, spent, recrafts)
-            if voter.decided:
-                if confirmations_left > 0:
-                    confirmations_left -= 1
-                    continue
-                accepted = self._accept_lines(
-                    spec, frozenset({voter.resolved_line}),
-                    expected_line
-                )
-                if accepted is None:
-                    # Verification mode: the leader separated but is
-                    # not the predicted line — the hypothesis that
-                    # predicted it is wrong.
+            observations = self._observe_many(
+                crafter, spec.round_index,
+                min(self.config.batch_size, budget - spent)
+            )
+            spent += len(observations)
+            for observed in observations:
+                voter.update(observed)
+                if voter.rejected or (
+                        expected_line is not None
+                        and not voter.is_viable(expected_line)):
                     return _VotingVerdict("rejected", None, (),
                                           voter.confidence, spent,
                                           recrafts)
-                return _VotingVerdict("accepted", accepted[0],
-                                      accepted[1], voter.confidence,
-                                      spent, recrafts)
-            current = voter.confidence
-            if current > best_confidence:
-                best_confidence = current
-                stalled_for = 0
-            else:
-                stalled_for += 1
-            if (voter.observations >= policy.min_observations
-                    and stalled_for >= stall_window):
-                if recrafts >= self.config.max_segment_retries:
-                    break  # stalled out of retries: give up gracefully
-                recrafts += 1
-                stalled_for = 0
-                crafter = PlaintextCrafter(spec, full_prior, self.rng)
+                if voter.decided:
+                    if confirmations_left > 0:
+                        confirmations_left -= 1
+                        continue
+                    accepted = self._accept_lines(
+                        spec, frozenset({voter.resolved_line}),
+                        expected_line
+                    )
+                    if accepted is None:
+                        # Verification mode: the leader separated but is
+                        # not the predicted line — the hypothesis that
+                        # predicted it is wrong.
+                        return _VotingVerdict("rejected", None, (),
+                                              voter.confidence, spent,
+                                              recrafts)
+                    return _VotingVerdict("accepted", accepted[0],
+                                          accepted[1], voter.confidence,
+                                          spent, recrafts)
+                current = voter.confidence
+                if current > best_confidence:
+                    best_confidence = current
+                    stalled_for = 0
+                else:
+                    stalled_for += 1
+                if (voter.observations >= policy.min_observations
+                        and stalled_for >= stall_window):
+                    if recrafts >= self.config.max_segment_retries:
+                        # Stalled out of retries: give up gracefully.
+                        return _VotingVerdict("low_confidence", None, (),
+                                              best_confidence, spent,
+                                              recrafts)
+                    recrafts += 1
+                    stalled_for = 0
+                    # A mid-batch re-craft only affects *future* batches;
+                    # the rest of this batch was crafted by the stalled
+                    # stream, which is still sound — the target line is
+                    # fixed by the hypothesis, not the crafter.
+                    crafter = PlaintextCrafter(spec, full_prior, self.rng)
         return _VotingVerdict("low_confidence", None, (), best_confidence,
                               spent, recrafts)
 
@@ -661,6 +675,56 @@ class GrinchAttack:
                 encryptions=self.total_encryptions,
             )
         self.total_encryptions += 1
+
+    def _charge_batch(self, requested: int) -> int:
+        """Charge up to ``requested`` encryptions against the budget.
+
+        Returns the count actually charged — clamped to the remaining
+        whole-attack budget so a batch never overruns the Table I
+        drop-out rule; raises :class:`BudgetExceeded` exactly where the
+        scalar loop's per-encryption charge would (budget already
+        spent).  ``requested == 1`` is charge-for-charge identical to
+        :meth:`_charge_encryption`.
+        """
+        budget = self.config.max_total_encryptions
+        count = requested
+        if budget is not None:
+            left = budget - self.total_encryptions
+            if left <= 0:
+                raise BudgetExceeded(
+                    f"total encryption budget of {budget} exhausted",
+                    encryptions=self.total_encryptions,
+                )
+            count = min(count, left)
+        self.total_encryptions += count
+        return count
+
+    def _observe_many(self, crafter: PlaintextCrafter,
+                      attacked_round: int, requested: int
+                      ) -> List[Any]:
+        """Craft, charge and observe up to ``requested`` encryptions.
+
+        The single chokepoint of the batched attack loop.  Crafting
+        draws from the attacker RNG in exactly the order the scalar
+        loop would, and a ``requested`` of 1 (the ``batch_size=1``
+        default) reproduces the historic ``observe(craft(), round)``
+        call byte for byte — so scalar effort pins (seed-0 GIFT-64's
+        464 encryptions) are untouched by construction.  Larger batches
+        go through the runner's ``observe_batch`` when it has one
+        (vectorized bitsliced path where active), else fall back to a
+        scalar loop over the same plaintexts.
+        """
+        count = self._charge_batch(requested)
+        if count == 1:
+            return [self.runner.observe(crafter.craft(), attacked_round)]
+        plaintexts = [crafter.craft() for _ in range(count)]
+        observe_batch = getattr(self.runner, "observe_batch", None)
+        if observe_batch is not None:
+            return list(observe_batch(plaintexts, attacked_round))
+        return [
+            self.runner.observe(plaintext, attacked_round)
+            for plaintext in plaintexts
+        ]
 
     def _verify_master_key(self, master_key: int) -> bool:
         victim = self.runner.victim

@@ -123,6 +123,17 @@ class AttackConfig:
         Allow the accelerated observation path when it is provably
         equivalent to the full cache simulation (Flush+Reload with
         non-colliding tables); automatically ignored otherwise.
+    batch_size:
+        How many crafted plaintexts the attack loop hands to the
+        observation channel per call.  ``1`` (default) reproduces the
+        historic one-encryption-at-a-time loop exactly — including its
+        RNG draw order and encryption counts.  Larger batches route
+        through :meth:`~repro.channel.ObservationChannel.observe_batch`
+        (vectorized when a bitsliced backend is available), at the cost
+        that a segment decision landing mid-batch leaves the rest of
+        that batch's encryptions charged: throughput is bought with a
+        bounded amount of over-observation, never with different
+        decisions.
     """
 
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
@@ -145,6 +156,7 @@ class AttackConfig:
     voting_stall_window: int = 48
     max_segment_retries: int = 2
     use_fast_path: bool = True
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.probing_round < 1:
@@ -185,6 +197,10 @@ class AttackConfig:
             raise ValueError("voting_stall_window must be positive")
         if self.max_segment_retries < 0:
             raise ValueError("max_segment_retries must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
 
     @property
     def voting_active(self) -> bool:

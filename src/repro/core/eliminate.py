@@ -62,6 +62,21 @@ class CandidateEliminator:
         self._candidates &= set(observed)
         return self.candidates
 
+    def update_batch(self,
+                     observations: Iterable[Iterable[int]]
+                     ) -> FrozenSet[int]:
+        """Intersect with a whole window batch, in batch order.
+
+        Equivalent to calling :meth:`update` once per observation —
+        intersection is order-insensitive, but the ``updates`` counter
+        still advances by the batch size so effort accounting matches
+        the sequential path.  Returns the surviving set after the whole
+        batch.
+        """
+        for observed in observations:
+            self.update(observed)
+        return self.candidates
+
     def reset(self) -> None:
         """Start over with the full universe."""
         self._candidates = set(self.universe)

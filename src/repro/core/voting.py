@@ -178,6 +178,20 @@ class VotingEliminator:
         for line in set(observed) & self.universe:
             self._counts[line] += 1
 
+    def update_batch(self,
+                     observations: Iterable[Iterable[int]]) -> None:
+        """Record a whole window batch of probe observations.
+
+        Vote counts are pure sums, so feeding a batch is exactly
+        equivalent to calling :meth:`update` per window — this is the
+        entry point the batched attack loop uses after
+        :meth:`~repro.channel.ObservationChannel.observe_batch`.
+        Decision properties (:attr:`decided`, :attr:`rejected`) reflect
+        the state after the full batch.
+        """
+        for observed in observations:
+            self.update(observed)
+
     @property
     def counts(self) -> Dict[int, int]:
         """Per-line observation counts (copy)."""

@@ -8,8 +8,11 @@ benchmark harness, and the examples.  See ``docs/experiment_engine.md``.
 
 This ``__init__`` deliberately avoids importing the built-in experiment
 definitions (they pull in ``repro.core``); the registry loads them
-lazily on first lookup, which keeps ``repro.engine.seeding`` importable
-from anywhere in the package without cycles.
+lazily on first lookup, which keeps the engine package importable from
+anywhere without cycles.  Seed derivation lives at the package top
+level (:mod:`repro.seeding`) and is re-exported here for the engine's
+callers; the old ``repro.engine.seeding`` alias module is gone (and
+banned by the layering checker).
 """
 
 from .artifact import (
@@ -37,7 +40,7 @@ from .registry import (
     names,
     register,
 )
-from .seeding import (
+from ..seeding import (
     canonical,
     derive_key,
     derive_rng,

@@ -3,7 +3,7 @@
 The executor fans the independent trials of a sweep out over a
 ``multiprocessing`` pool.  Determinism is by construction:
 
-* every trial's seed is :func:`repro.engine.seeding.trial_seed` of
+* every trial's seed is :func:`repro.seeding.trial_seed` of
   ``(experiment, params, cell, trial_index)`` — no dependence on the
   worker count, the pool's scheduling, or completion order;
 * results are reassembled by task index, so the cell records the

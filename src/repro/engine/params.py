@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
-from .seeding import canonical
+from ..seeding import canonical
 
 #: Parameter kinds understood by the spec layer.
 PARAM_KINDS = ("int", "float", "bool", "str", "int_list", "float_list",

@@ -93,11 +93,12 @@ def _ensure_builtins() -> None:
         return
     _BUILTINS_LOADED = True
     # Imported for their registration side effects; deferred to the
-    # first lookup so repro.core can import repro.engine.seeding without
-    # pulling the experiment definitions (which import repro.core) back
-    # in at module-import time.
+    # first lookup so the rest of the engine package stays importable
+    # without pulling the experiment definitions (which import
+    # repro.core) back in at module-import time.
     from . import (  # noqa: F401
         ablations,
+        batchperf,
         comparison,
         experiments,
         multitarget,

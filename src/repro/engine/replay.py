@@ -22,6 +22,7 @@ import hashlib
 from pathlib import Path
 from typing import Any, Dict, List, Mapping
 
+from ..channel.degradation import LossyChannel
 from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
 from ..staticcheck import declassify
@@ -34,6 +35,7 @@ from .registry import CellPlan, Experiment, register
 DEFAULT_TRACES = (
     "tests/corpus/gift64-seed0-first.grtr",
     "tests/corpus/gift64-seed0-full.grtr",
+    "tests/corpus/gift64-seed0-miss20-full.grtr",
     "tests/corpus/present80-seed0-first.grtr",
     "tests/corpus/present80-seed0-full.grtr",
 )
@@ -61,7 +63,10 @@ def config_from_header(header: TraceHeader) -> AttackConfig:
     """The attack configuration a trace header describes.
 
     Mirrors the trace CLI's mapping so a replayed attack re-derives
-    the recorded crafting stream exactly.
+    the recorded crafting stream exactly — including the lossy-channel
+    parameters a degraded recording stamps into the header meta, which
+    select the same voting recovery (and the same derived degradation
+    RNG streams) on replay.
     """
     return AttackConfig(
         geometry=header.geometry,
@@ -72,6 +77,11 @@ def config_from_header(header: TraceHeader) -> AttackConfig:
         stall_window=(200 if header.probe_strategy == "prime_probe"
                       else 0),
         seed=header.seed,
+        loss=LossyChannel(
+            miss_probability=float(header.meta.get("miss_probability",
+                                                   0.0)),
+            eviction_rate=float(header.meta.get("eviction_rate", 0.0)),
+        ),
         max_total_encryptions=None,
     )
 

@@ -1,0 +1,328 @@
+"""Bitsliced (batch-first) GIFT backend: thousands of blocks per call.
+
+The scalar fast path (:mod:`repro.gift.lut`, PR 5) made a *single*
+``encrypt()`` allocation-free; this module is the next order of
+magnitude.  Following the word-sliced round structure of the bluelight
+``GiftRound.bsv`` hardware implementation, the state of ``N`` blocks is
+held as a ``(width, N)`` bit-matrix (one row per state bit, one column
+per block) and every round is three whole-matrix operations:
+
+* **SubCells** — the GIFT S-box as its boolean network (the same
+  share-level sequence the bitsliced GIFT-COFB reference uses),
+  applied to the four bit-rows of every nibble at once.  No lookup
+  table exists on this path, so no secret-indexed load exists either:
+  the staticcheck analyzer confirms *zero* table-lookup sinks.
+* **PermBits** — a single row gather ``state = state[gather]``; the
+  gather indices are the public inverse permutation (composed with the
+  S-box's output-bit swap), never secret data.
+* **AddRoundKey** — one broadcast XOR of a precomputed ``(width,)``
+  0/1 mask row per round (round-key halves fused with the round
+  constant, exactly as the scalar paths precompute
+  ``_inject_masks``).
+
+``encrypt_batch`` is validated bit-exact against
+:class:`repro.gift.cipher.GiftCipher` and ``encrypt_traced_batch`` /
+``sbox_indices_batch`` against
+:meth:`repro.gift.lut.TracedGiftCipher.sbox_indices_by_round` by the
+official vectors and the hypothesis sweeps in
+``tests/gift/test_bitsliced.py``.
+
+numpy is required only by this module (the rest of the package stays
+dependency-free); import errors are deferred to first use so the
+scalar pipeline keeps working without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..staticcheck.secrets import secret_params
+from .constants import constant_mask
+from .cipher import round_key_mask
+from .keyschedule import round_keys as schedule_round_keys
+from .permutation import inverse_permutation_for_width
+
+try:  # pragma: no cover - exercised only where numpy is absent
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the bitsliced backend can run in this interpreter."""
+    return _np is not None
+
+
+def _require_numpy() -> Any:
+    if _np is None:  # pragma: no cover - exercised only without numpy
+        raise ImportError(
+            "the bitsliced GIFT backend requires numpy; install numpy or "
+            "use the scalar repro.gift.cipher / repro.gift.lut paths"
+        )
+    return _np
+
+
+#: The S-box's output-bit swap (logical output bit 0 is computed into
+#: row 3 of each nibble and vice versa), folded into the PermBits
+#: gather so SubCells needs no row copies.
+def _swapped(position: int) -> int:
+    if position % 4 == 0:
+        return position + 3
+    if position % 4 == 3:
+        return position - 3
+    return position
+
+
+def _mask_row(mask: int, width: int) -> "_np.ndarray":
+    """One full-state XOR mask as a ``(width,)`` 0/1 uint8 row."""
+    np = _require_numpy()
+    raw = np.frombuffer(
+        mask.to_bytes(width // 8, "little"), dtype=np.uint8
+    )
+    return np.unpackbits(raw, bitorder="little")
+
+
+def _pack_blocks(blocks: Sequence[int], width: int) -> "_np.ndarray":
+    """Pack integer blocks into the ``(width, N)`` bit-matrix."""
+    np = _require_numpy()
+    count = len(blocks)
+    if count == 0:
+        return np.zeros((width, 0), dtype=np.uint8)
+    nbytes = width // 8
+    try:
+        buf = b"".join(int(block).to_bytes(nbytes, "little")
+                       for block in blocks)
+    except (OverflowError, TypeError):
+        raise ValueError(
+            f"every block must be a {width}-bit integer"
+        ) from None
+    raw = np.frombuffer(buf, dtype=np.uint8).reshape(count, nbytes)
+    return np.ascontiguousarray(
+        np.unpackbits(raw, axis=1, bitorder="little").T
+    )
+
+
+def _unpack_blocks(state: "_np.ndarray") -> List[int]:
+    """Unpack the ``(width, N)`` bit-matrix back into integer blocks."""
+    np = _require_numpy()
+    raw = np.packbits(
+        np.ascontiguousarray(state.T), axis=1, bitorder="little"
+    )
+    return [int.from_bytes(row.tobytes(), "little") for row in raw]
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """The vectorized counterpart of per-access ``MemoryAccess`` lists.
+
+    ``sbox_indices[r - 1, segment, n]`` is block ``n``'s S-box input
+    at round ``r`` / segment ``segment`` — the exact value whose load
+    address GRINCH observes — as one dense uint8 array instead of
+    ``rounds * segments * N`` trace objects.
+    """
+
+    ciphertexts: Tuple[int, ...]
+    sbox_indices: Any  # (rounds, segments, N) uint8 ndarray
+    first_round: int = 1
+
+    @property
+    def rounds(self) -> int:
+        return int(self.sbox_indices.shape[0])
+
+
+class BitslicedGiftCipher:
+    """A batch GIFT instance bound to an explicit round-key schedule.
+
+    Built either from a master key (:meth:`from_master_key`, standard
+    schedule) or from any scalar victim's already-expanded ``(U, V)``
+    schedule (:meth:`from_victim`) — the latter keeps key-schedule
+    countermeasure subclasses (hardened schedule, reshaped S-box)
+    batch-equivalent for free, since both only change the schedule or
+    the table layout, never the round function.
+    """
+
+    def __init__(self, width: int, rounds: int,
+                 round_keys: Sequence[Tuple[int, int]]) -> None:
+        np = _require_numpy()
+        if width not in (64, 128):
+            raise ValueError(
+                f"GIFT only defines 64- and 128-bit states, got {width}"
+            )
+        if rounds < 1:
+            raise ValueError(f"round count must be positive, got {rounds}")
+        if len(round_keys) < rounds:
+            raise ValueError(
+                f"need {rounds} round keys, got {len(round_keys)}"
+            )
+        self.width = width
+        self.rounds = rounds
+        self._segments = width // 4
+        inverse = inverse_permutation_for_width(width)
+        # PermBits as a row gather, with the SubCells output-bit swap
+        # composed in: out[dest] = raw_after_network[swap(inv[dest])].
+        self._gather = np.array(
+            [_swapped(inverse[dest]) for dest in range(width)],
+            dtype=np.intp,
+        )
+        self._inject = np.stack([
+            _mask_row(
+                round_key_mask(u, v, width) ^ constant_mask(index, width),
+                width,
+            )
+            for index, (u, v) in enumerate(round_keys[:rounds], start=1)
+        ])
+
+    @classmethod
+    def from_master_key(cls, master_key: int, width: int,
+                        rounds: int) -> "BitslicedGiftCipher":
+        """Expand the standard GIFT key schedule and bitslice it."""
+        if not 0 <= master_key < (1 << 128):
+            raise ValueError("master key must be a 128-bit integer")
+        return cls(width, rounds,
+                   schedule_round_keys(master_key, rounds, width))
+
+    @classmethod
+    def from_victim(cls, victim: Any) -> "BitslicedGiftCipher":
+        """Bitslice a scalar GIFT victim's expanded schedule.
+
+        Works for any :class:`~repro.gift.lut.TracedGiftCipher`
+        subclass, including the countermeasure variants: the hardened
+        schedule only overrides ``compute_round_keys`` (mirrored here
+        by reading the expanded keys) and the reshaped S-box only
+        changes load *addresses*, never values.
+        """
+        round_keys = getattr(victim, "_round_keys", None)
+        if round_keys is None:
+            round_keys = victim.compute_round_keys()
+        return cls(victim.width, victim.rounds, round_keys)
+
+    def _check_rounds(self, max_rounds: Optional[int]) -> int:
+        limit = self.rounds if max_rounds is None else max_rounds
+        if not 1 <= limit <= self.rounds:
+            raise ValueError(
+                f"max_rounds must be in [1, {self.rounds}], got {max_rounds}"
+            )
+        return limit
+
+    @staticmethod
+    def _sub_cells(state: "_np.ndarray") -> None:
+        """The GIFT S-box boolean network on every nibble's bit-rows.
+
+        Pure XOR/AND/OR on 0/1 matrices — no table, no secret-indexed
+        subscript.  The final output swap (logical bit 0 <-> bit 3) is
+        *not* applied here; it is composed into the PermBits gather.
+        """
+        s0 = state[0::4]
+        s1 = state[1::4]
+        s2 = state[2::4]
+        s3 = state[3::4]
+        s1 ^= s0 & s2
+        s0 ^= s1 & s3
+        s2 ^= s0 | s1
+        s3 ^= s2
+        s1 ^= s3
+        s3 ^= 1
+        s2 ^= s0 & s1
+
+    def _round(self, state: "_np.ndarray",
+               round_index: int) -> "_np.ndarray":
+        self._sub_cells(state)
+        state = state[self._gather]
+        state ^= self._inject[round_index - 1][:, None]
+        return state
+
+    @secret_params("plaintexts")
+    def encrypt_batch(self, plaintexts: Sequence[int]) -> List[int]:
+        """Encrypt a whole batch; ``result[n] == encrypt(plaintexts[n])``."""
+        state = _pack_blocks(plaintexts, self.width)
+        for round_index in range(1, self.rounds + 1):
+            state = self._round(state, round_index)
+        return _unpack_blocks(state)
+
+    @secret_params("plaintexts")
+    def sbox_indices_batch(self, plaintexts: Sequence[int],
+                           max_rounds: Optional[int] = None
+                           ) -> "_np.ndarray":
+        """Per-round pre-S-box nibbles for a whole batch.
+
+        Returns a ``(max_rounds, segments, N)`` uint8 array such that
+        ``result[r - 1, s, n] ==
+        victim.sbox_indices_by_round(plaintexts[n], max_rounds)[r-1][s]``.
+        """
+        np = _require_numpy()
+        limit = self._check_rounds(max_rounds)
+        state = _pack_blocks(plaintexts, self.width)
+        indices = np.empty((limit, self._segments, state.shape[1]),
+                           dtype=np.uint8)
+        for round_index in range(1, limit + 1):
+            indices[round_index - 1] = (
+                state[0::4]
+                | (state[1::4] << 1)
+                | (state[2::4] << 2)
+                | (state[3::4] << 3)
+            )
+            state = self._round(state, round_index)
+        return indices
+
+    @secret_params("plaintexts")
+    def encrypt_traced_batch(self, plaintexts: Sequence[int],
+                             max_rounds: Optional[int] = None
+                             ) -> BatchTrace:
+        """Encrypt a batch and return the vectorized index trace.
+
+        Like the scalar ``encrypt_traced``, a bounded ``max_rounds``
+        leaves the post-``max_rounds`` state in ``ciphertexts``.
+        """
+        np = _require_numpy()
+        limit = self._check_rounds(max_rounds)
+        state = _pack_blocks(plaintexts, self.width)
+        indices = np.empty((limit, self._segments, state.shape[1]),
+                           dtype=np.uint8)
+        for round_index in range(1, limit + 1):
+            indices[round_index - 1] = (
+                state[0::4]
+                | (state[1::4] << 1)
+                | (state[2::4] << 2)
+                | (state[3::4] << 3)
+            )
+            state = self._round(state, round_index)
+        return BatchTrace(
+            ciphertexts=tuple(_unpack_blocks(state)),
+            sbox_indices=indices,
+        )
+
+
+class BitslicedGift64(BitslicedGiftCipher):
+    """Bitsliced GIFT-64 from a master key (28 rounds)."""
+
+    ROUNDS = 28
+
+    def __init__(self, master_key: int, rounds: int = ROUNDS) -> None:
+        if not 0 <= master_key < (1 << 128):
+            raise ValueError("master key must be a 128-bit integer")
+        super().__init__(
+            64, rounds, schedule_round_keys(master_key, rounds, 64)
+        )
+
+
+class BitslicedGift128(BitslicedGiftCipher):
+    """Bitsliced GIFT-128 from a master key (40 rounds)."""
+
+    ROUNDS = 40
+
+    def __init__(self, master_key: int, rounds: int = ROUNDS) -> None:
+        if not 0 <= master_key < (1 << 128):
+            raise ValueError("master key must be a 128-bit integer")
+        super().__init__(
+            128, rounds, schedule_round_keys(master_key, rounds, 128)
+        )
+
+
+__all__ = [
+    "BatchTrace",
+    "BitslicedGift64",
+    "BitslicedGift128",
+    "BitslicedGiftCipher",
+    "numpy_available",
+]

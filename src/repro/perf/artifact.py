@@ -16,9 +16,11 @@ Record shape (``repro.perf/bench/v1``)::
          "ops": 12345, "seconds": 0.41, "ops_per_s": 30110.0},
         ...
       ],
-      "ratios": {"gift64_untraced_over_traced": 25.1, ...},
+      "ratios": {"gift64_untraced_over_traced": 25.1,
+                 "gift64_batch_over_untraced": 50.3, ...},
       "gates": {
         "min_untraced_over_traced": 5.0,
+        "min_batch_over_untraced": 20.0,
         "regression_headroom": 2.0,
         "baseline_untraced_over_traced": 24.0 | null,
         "failures": [],
@@ -42,6 +44,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
 from .suite import (
+    MIN_BATCH_OVER_UNTRACED,
     MIN_UNTRACED_OVER_TRACED,
     REGRESSION_HEADROOM,
     PerfReport,
@@ -104,6 +107,7 @@ def validate_record(record: Mapping[str, Any]) -> None:
             )
     gates = _require(record, "gates", Mapping, "record")
     _require(gates, "min_untraced_over_traced", (int, float), "gates")
+    _require(gates, "min_batch_over_untraced", (int, float), "gates")
     _require(gates, "regression_headroom", (int, float), "gates")
     if "baseline_untraced_over_traced" not in gates:
         raise PerfSchemaError(
@@ -135,6 +139,7 @@ def build_record(report: PerfReport,
         "ratios": ratios,
         "gates": {
             "min_untraced_over_traced": MIN_UNTRACED_OVER_TRACED,
+            "min_batch_over_untraced": MIN_BATCH_OVER_UNTRACED,
             "regression_headroom": REGRESSION_HEADROOM,
             "baseline_untraced_over_traced": baseline_ratio,
             "failures": failures,

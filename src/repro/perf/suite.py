@@ -5,7 +5,9 @@ each benchmarked here:
 
 * the **cipher** — trace-free ``encrypt()`` vs. the traced LUT path
   that backs the observer's full path (``gift64_encrypt_untraced`` /
-  ``gift64_encrypt_traced``, plus the GIFT-128 pair outside ``--quick``);
+  ``gift64_encrypt_traced``, plus the GIFT-128 pair outside ``--quick``),
+  and the bitsliced **batch path** (``gift64_encrypt_batch``, one op =
+  :data:`_BATCH_BLOCKS` blocks through ``encrypt_batch``);
 * the **observer fast path** — crafted-encryption line observations
   (``observer_fast_observations``);
 * the **voting decision core** — per-window count updates
@@ -15,11 +17,14 @@ each benchmarked here:
 
 The regression gates are *ratios* between benches on the same machine,
 so they hold on any hardware: the untraced cipher must stay at least
-:data:`MIN_UNTRACED_OVER_TRACED` times faster than the traced path, and
-the traced path must not silently rot — the untraced/traced ratio may
-not grow past :data:`REGRESSION_HEADROOM` times the ratio recorded in
-the trajectory file (a growing ratio means traced got slower relative
-to the untraced anchor).
+:data:`MIN_UNTRACED_OVER_TRACED` times faster than the traced path, the
+bitsliced batch path must deliver at least
+:data:`MIN_BATCH_OVER_UNTRACED` times the scalar untraced blocks/s
+(``gift64_batch_over_untraced`` — the whole point of the batch-first
+fabric), and the traced path must not silently rot — the
+untraced/traced ratio may not grow past :data:`REGRESSION_HEADROOM`
+times the ratio recorded in the trajectory file (a growing ratio means
+traced got slower relative to the untraced anchor).
 """
 
 from __future__ import annotations
@@ -43,6 +48,13 @@ from .bench import BenchResult, measure
 #: regressed into tracing work).
 MIN_UNTRACED_OVER_TRACED: float = 5.0
 
+#: Hard gate: the bitsliced batch path must encrypt blocks at least
+#: this many times faster than the scalar untraced loop (measured as
+#: ``encrypt_batch`` calls/s x :data:`_BATCH_BLOCKS` over untraced
+#: ops/s; below 20x the vectorized fabric has regressed into
+#: per-block work).
+MIN_BATCH_OVER_UNTRACED: float = 20.0
+
 #: Soft anchor: the untraced/traced ratio may not exceed the recorded
 #: trajectory baseline by more than this factor (a growing ratio means
 #: the traced path — which backs the observer's full path — got slower
@@ -54,6 +66,11 @@ _PLAINTEXT_POOL: int = 256
 
 #: Synthetic probe windows cycled through the voting bench.
 _OBSERVATION_POOL: int = 512
+
+#: Blocks per ``encrypt_batch`` call in the batch cipher bench (one
+#: bench op encrypts this many blocks; large enough to amortise the
+#: pack/unpack ends of the bitsliced pipeline).
+_BATCH_BLOCKS: int = 4096
 
 
 @dataclass(frozen=True)
@@ -86,6 +103,17 @@ class PerfReport:
                 ratios[f"gift{width}_untraced_over_traced"] = (
                     fast.ops_per_s / slow.ops_per_s
                 )
+            try:
+                batch = self.result(f"gift{width}_encrypt_batch")
+            except KeyError:
+                continue
+            if fast.ops_per_s > 0.0:
+                # One batch op encrypts _BATCH_BLOCKS blocks, one
+                # untraced op encrypts one — the ratio is blocks/s
+                # over blocks/s.
+                ratios[f"gift{width}_batch_over_untraced"] = (
+                    batch.ops_per_s * _BATCH_BLOCKS / fast.ops_per_s
+                )
         return ratios
 
 
@@ -93,6 +121,7 @@ def check_gates(ratios: Dict[str, float],
                 baseline_ratio: Optional[float] = None,
                 *,
                 min_ratio: float = MIN_UNTRACED_OVER_TRACED,
+                min_batch_ratio: float = MIN_BATCH_OVER_UNTRACED,
                 headroom: float = REGRESSION_HEADROOM) -> List[str]:
     """Evaluate the ratio gates; returns human-readable failures.
 
@@ -100,12 +129,16 @@ def check_gates(ratios: Dict[str, float],
     trajectory's most recent entry (``None`` on a first run): the new
     ratio must stay within ``headroom`` times it, bounding how much the
     traced path may regress relative to the untraced anchor.
+    Batch-over-untraced ratios are gated against ``min_batch_ratio``
+    instead of ``min_ratio``.
     """
     failures: List[str] = []
     for name, ratio in sorted(ratios.items()):
-        if ratio < min_ratio:
+        floor = (min_batch_ratio if name.endswith("_batch_over_untraced")
+                 else min_ratio)
+        if ratio < floor:
             failures.append(
-                f"{name} = {ratio:.2f}x, below the {min_ratio:.1f}x gate"
+                f"{name} = {ratio:.2f}x, below the {floor:.1f}x gate"
             )
     key = "gift64_untraced_over_traced"
     if baseline_ratio is not None and key in ratios:
@@ -129,11 +162,18 @@ def _cycled(values: List[int]) -> Callable[[], int]:
 
 
 def _cipher_benches(seed: int, quick: bool) -> List[Dict[str, object]]:
+    from ..targets.gift import (
+        BitslicedGift64,
+        BitslicedGift128,
+        numpy_available,
+    )
+
     benches: List[Dict[str, object]] = []
     widths = (64,) if quick else (64, 128)
     for width in widths:
         victim_cls = TracedGift64 if width == 64 else TracedGift128
-        victim = victim_cls(derive_key(128, "perf-cipher", seed, width))
+        key = derive_key(128, "perf-cipher", seed, width)
+        victim = victim_cls(key)
         rng = derive_rng("perf-plaintexts", seed, width)
         pool = [rng.getrandbits(width) for _ in range(_PLAINTEXT_POOL)]
         draw = _cycled(pool)
@@ -147,6 +187,18 @@ def _cipher_benches(seed: int, quick: bool) -> List[Dict[str, object]]:
             "fn": (lambda victim=victim, draw=draw:
                    victim.encrypt_traced(draw())),
         })
+        if numpy_available():
+            backend_cls = (BitslicedGift64 if width == 64
+                           else BitslicedGift128)
+            backend = backend_cls(key)
+            batch_rng = derive_rng("perf-batch-plaintexts", seed, width)
+            batch_pool = [batch_rng.getrandbits(width)
+                          for _ in range(_BATCH_BLOCKS)]
+            benches.append({
+                "name": f"gift{width}_encrypt_batch",
+                "fn": (lambda backend=backend, batch_pool=batch_pool:
+                       backend.encrypt_batch(batch_pool)),
+            })
     return benches
 
 

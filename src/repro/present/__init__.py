@@ -1,5 +1,6 @@
 """PRESENT cipher — GIFT's ancestor, used as a comparison baseline."""
 
+from .bitsliced import BatchTrace, BitslicedPresent, numpy_available
 from .cipher import (
     PLAYER,
     PLAYER_INV,
@@ -11,6 +12,9 @@ from .cipher import (
 from .vectors import PRESENT80_VECTORS
 
 __all__ = [
+    "BatchTrace",
+    "BitslicedPresent",
+    "numpy_available",
     "PLAYER",
     "PLAYER_INV",
     "PRESENT_ROUNDS",

@@ -115,6 +115,7 @@ BANNED_MODULES = (
     "repro.core.monitor",
     "repro.core.noise",
     "repro.variants.observations",
+    "repro.engine.seeding",
 )
 
 

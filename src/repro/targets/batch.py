@@ -1,0 +1,96 @@
+"""Batch execution surface of the target layer.
+
+:class:`BatchVictim` wraps a scalar traced victim together with an
+optional vectorized backend (the bitsliced ciphers of
+:mod:`repro.gift.bitsliced` / :mod:`repro.present.bitsliced`, obtained
+via :meth:`~repro.targets.protocol.CipherTarget.batch_view`).  The
+scalar :class:`~repro.targets.protocol.TracedVictim` surface is
+delegated unchanged, so a ``BatchVictim`` drops into every existing
+consumer; the batch surface (``encrypt_batch`` /
+``sbox_indices_batch``) runs vectorized when a backend exists and
+falls back to an exact scalar loop otherwise — which is how targets
+without a bitsliced port (GIFT-COFB) keep working unmodified.
+
+The fallback's ``sbox_indices_batch`` returns nested lists indexed
+``[round - 1][segment][block]`` — the same indexing as the backends'
+``(rounds, segments, N)`` arrays — so callers never branch on which
+path produced the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .protocol import TracedVictim
+
+
+class BatchVictim:
+    """A traced victim plus its (optional) vectorized batch backend."""
+
+    def __init__(self, victim: TracedVictim,
+                 backend: Optional[Any] = None) -> None:
+        self.victim = victim
+        self.backend = backend
+        self.width = victim.width
+        self.rounds = victim.rounds
+        self.layout = victim.layout
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether batch calls run on a bitsliced backend."""
+        return self.backend is not None
+
+    # -- scalar TracedVictim surface (delegated) ----------------------
+
+    def encrypt(self, plaintext: int) -> int:
+        return self.victim.encrypt(plaintext)
+
+    def encrypt_traced(self, plaintext: int,
+                       max_rounds: Optional[int] = None) -> Any:
+        return self.victim.encrypt_traced(plaintext, max_rounds=max_rounds)
+
+    def sbox_indices_by_round(self, plaintext: int,
+                              max_rounds: int) -> List[List[int]]:
+        return self.victim.sbox_indices_by_round(plaintext, max_rounds)
+
+    # -- batch surface -------------------------------------------------
+
+    def encrypt_batch(self, plaintexts: Any) -> List[int]:
+        """``result[n] == encrypt(plaintexts[n])`` for the whole batch."""
+        if self.backend is not None:
+            return self.backend.encrypt_batch(plaintexts)
+        return [self.victim.encrypt(plaintext) for plaintext in plaintexts]
+
+    def sbox_indices_batch(self, plaintexts: Any,
+                           max_rounds: Optional[int] = None) -> Any:
+        """Per-round S-box indices, indexed ``[round - 1][segment][block]``."""
+        if self.backend is not None:
+            return self.backend.sbox_indices_batch(plaintexts, max_rounds)
+        limit = self.rounds if max_rounds is None else max_rounds
+        per_block = [
+            self.victim.sbox_indices_by_round(plaintext, limit)
+            for plaintext in plaintexts
+        ]
+        if not per_block:
+            return []
+        segments = len(per_block[0][0])
+        return [
+            [
+                [indices[round_index][segment] for indices in per_block]
+                for segment in range(segments)
+            ]
+            for round_index in range(limit)
+        ]
+
+    def __getattr__(self, name: str) -> Any:
+        # Optional victim attributes (probe_round_offset, attack_target,
+        # master_key, ...) pass through so target resolution and the
+        # channel's getattr probes see the wrapped victim.
+        return getattr(self.victim, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug sugar
+        mode = "vectorized" if self.vectorized else "scalar-loop"
+        return f"<BatchVictim {type(self.victim).__name__} ({mode})>"
+
+
+__all__ = ["BatchVictim"]

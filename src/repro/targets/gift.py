@@ -15,8 +15,14 @@ because the target layer may not import ``repro.core``;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
+from ..gift.bitsliced import (  # noqa: F401  (re-exported)
+    BitslicedGift64,
+    BitslicedGift128,
+    BitslicedGiftCipher,
+    numpy_available,
+)
 from ..gift.cipher import (  # noqa: F401  (re-exported)
     Gift64,
     Gift128,
@@ -281,6 +287,35 @@ class GiftTarget(CipherTarget):
             self.rounds if rounds is None else rounds,
         )
         return cipher.encrypt(plaintext)
+
+    def reference_encrypt_batch(self, master_key: int,
+                                plaintexts: Sequence[int],
+                                rounds: Optional[int] = None) -> List[int]:
+        if not numpy_available():
+            return super().reference_encrypt_batch(
+                master_key, plaintexts, rounds
+            )
+        cipher = BitslicedGiftCipher.from_master_key(
+            master_key, self.width,
+            self.rounds if rounds is None else rounds,
+        )
+        return cipher.encrypt_batch(plaintexts)
+
+    def batch_view(self, victim: TracedVictim) -> Optional[Any]:
+        """Bitslice any GIFT victim's expanded key schedule.
+
+        Countermeasure subclasses stay batch-equivalent for free (the
+        hardened schedule only changes ``compute_round_keys``, the
+        reshaped S-box only load addresses); wrapped victims the
+        isinstance check cannot see through (recording/replay) fall
+        back to the scalar path, which is what keeps recording
+        RNG-transparent and replay destructive-safe.
+        """
+        if not numpy_available():
+            return None
+        if not isinstance(victim, (TracedGiftCipher, GiftCipher)):
+            return None
+        return BitslicedGiftCipher.from_victim(victim)
 
 
 gift64 = register_target(GiftTarget("gift64", PROFILE_64, rounds=28))

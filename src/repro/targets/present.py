@@ -24,8 +24,12 @@ The port is exercised end-to-end by experiment E16
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
+from ..present.bitsliced import (  # noqa: F401  (re-exported)
+    BitslicedPresent,
+    numpy_available,
+)
 from ..present.cipher import (
     PLAYER_INV,
     PRESENT_ROUNDS,
@@ -190,6 +194,28 @@ class PresentTarget(CipherTarget):
             state ^= keys[round_index]
             state = _p_layer(_sbox_layer(state))
         return state ^ keys[limit]
+
+    def reference_encrypt_batch(self, master_key: int,
+                                plaintexts: Sequence[int],
+                                rounds: Optional[int] = None) -> List[int]:
+        if not numpy_available():
+            return super().reference_encrypt_batch(
+                master_key, plaintexts, rounds
+            )
+        cipher = BitslicedPresent(
+            master_key, key_bits=self.key_bits,
+            rounds=self.rounds if rounds is None else rounds,
+        )
+        return cipher.encrypt_batch(plaintexts)
+
+    def batch_view(self, victim: TracedVictim) -> Optional[Any]:
+        """Bitslice a scalar PRESENT victim's key schedule (scalar
+        fallback for wrapped recording/replay victims, as on GIFT)."""
+        if not numpy_available():
+            return None
+        if not isinstance(victim, TracedPresent):
+            return None
+        return BitslicedPresent.from_victim(victim)
 
 
 present80 = register_target(PresentTarget())

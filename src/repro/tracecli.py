@@ -31,6 +31,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .channel.degradation import LossyChannel
 from .core.attack import GrinchAttack
 from .core.config import AttackConfig
 from .seeding import derive_key
@@ -59,7 +60,11 @@ def _config_from_header(header: TraceHeader) -> AttackConfig:
     """The attack configuration a header describes.
 
     Record and replay both use this mapping, so the replayed attack
-    re-derives the exact crafting stream of the recorded one.
+    re-derives the exact crafting stream of the recorded one —
+    including the degradation model: a lossy recording stamps its loss
+    parameters into the header meta, and the replay rebuilds the same
+    :class:`~repro.channel.degradation.LossyChannel` so the voting
+    recovery (and its derived RNG streams) make identical decisions.
     """
     return AttackConfig(
         geometry=header.geometry,
@@ -70,6 +75,11 @@ def _config_from_header(header: TraceHeader) -> AttackConfig:
         stall_window=(200 if header.probe_strategy == "prime_probe"
                       else 0),
         seed=header.seed,
+        loss=LossyChannel(
+            miss_probability=float(header.meta.get("miss_probability",
+                                                   0.0)),
+            eviction_rate=float(header.meta.get("eviction_rate", 0.0)),
+        ),
         max_total_encryptions=None,
     )
 
@@ -134,6 +144,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
         probe_strategy=args.probe,
         stall_window=200 if args.probe == "prime_probe" else 0,
         seed=args.seed,
+        loss=LossyChannel(miss_probability=args.miss,
+                          eviction_rate=args.evict),
         use_fast_path=not args.no_fast_path,
         max_total_encryptions=None,
     )
@@ -161,6 +173,13 @@ def _cmd_record(args: argparse.Namespace) -> int:
         }
         summary = (f"{result.encryptions} encryptions, "
                    f"{result.recovered_bits} bits")
+    if args.miss or args.evict:
+        # Stamp the degradation so replay rebuilds the same channel
+        # (and therefore the same voting recovery) from the header
+        # alone; lossless recordings stay byte-identical to pre-loss
+        # recordings.
+        meta["miss_probability"] = args.miss
+        meta["eviction_rate"] = args.evict
     captured = recorder.to_trace_file()
     trace = TraceFile(
         header=header.with_meta(windows=captured.windows, **meta),
@@ -316,6 +335,13 @@ def _build_parser() -> argparse.ArgumentParser:
     record.add_argument("--no-fast-path", action="store_true",
                         help="record tagged address streams instead of "
                              "packed index rows (much larger files)")
+    record.add_argument("--miss", type=float, default=0.0,
+                        help="per-line probe miss probability — records "
+                             "through a lossy channel and stamps it "
+                             "into the header meta")
+    record.add_argument("--evict", type=float, default=0.0,
+                        help="per-window co-runner eviction rate "
+                             "(stamped like --miss)")
 
     replay = commands.add_parser(
         "replay", help="rerun an attack from a trace (no cipher)"

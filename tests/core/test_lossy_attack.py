@@ -22,7 +22,7 @@ from repro.core import (
     LossyChannel,
     LowConfidenceError,
 )
-from repro.engine.seeding import derive_key
+from repro.seeding import derive_key
 from repro.gift.lut import TracedGift64
 
 #: The acceptance-criterion channel: 20% per-probe false negatives.

@@ -9,7 +9,7 @@ from repro.engine import run_experiment
 from repro.engine.budget import FULL_EFFORT, QUICK_EFFORT, full_mode
 from repro.engine.executor import ExecutionStats, build_tasks
 from repro.engine.registry import get
-from repro.engine.seeding import trial_seed
+from repro.seeding import trial_seed
 
 #: A deliberately small Fig. 3 sweep — a few hundred encryptions total.
 SMALL_SWEEP = {"probing_rounds": (1, 2), "runs": 2}

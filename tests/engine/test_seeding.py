@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.seeding import (
+from repro.seeding import (
     canonical,
     derive_key,
     derive_rng,

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.gift.bitsliced import numpy_available
 from repro.perf.suite import (
+    MIN_BATCH_OVER_UNTRACED,
     MIN_UNTRACED_OVER_TRACED,
     PerfReport,
     check_gates,
@@ -38,6 +40,15 @@ class TestCheckGates:
     def test_no_baseline_means_no_regression_gate(self):
         assert check_gates({"gift64_untraced_over_traced": 1000.0}) == []
 
+    def test_batch_ratio_gated_at_batch_floor(self):
+        # 12x clears the 5x untraced gate but not the 20x batch gate.
+        failures = check_gates({"gift64_batch_over_untraced": 12.0})
+        assert len(failures) == 1
+        assert f"{MIN_BATCH_OVER_UNTRACED:.1f}x" in failures[0]
+        assert check_gates(
+            {"gift64_batch_over_untraced": MIN_BATCH_OVER_UNTRACED}
+        ) == []
+
 
 class TestPerfReport:
     def test_result_lookup(self):
@@ -63,13 +74,18 @@ class TestRunSuite:
 
     def test_quick_suite_shape(self, report):
         names = [result.name for result in report.results]
-        assert names == [
+        expected = [
             "gift64_encrypt_untraced",
             "gift64_encrypt_traced",
+        ]
+        if numpy_available():
+            expected.append("gift64_encrypt_batch")
+        expected += [
             "observer_fast_observations",
             "voting_updates",
             "engine_first_round_trial",
         ]
+        assert names == expected
         assert all(result.ops >= 1 for result in report.results)
 
     def test_untraced_beats_traced_by_gate_margin(self, report):
@@ -77,6 +93,13 @@ class TestRunSuite:
         path, on whatever hardware the tests run on."""
         ratio = report.ratios["gift64_untraced_over_traced"]
         assert ratio >= MIN_UNTRACED_OVER_TRACED
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_batch_beats_untraced_by_gate_margin(self, report):
+        """The batch-fabric claim: bitsliced encrypt_batch delivers
+        >= 20x the scalar untraced blocks/s."""
+        ratio = report.ratios["gift64_batch_over_untraced"]
+        assert ratio >= MIN_BATCH_OVER_UNTRACED
 
     def test_gates_pass_on_real_run(self, report):
         assert check_gates(report.ratios) == []

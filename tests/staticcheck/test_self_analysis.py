@@ -81,6 +81,23 @@ class TestPresent:
         )
 
 
+class TestBitslicedBackends:
+    """The batch fabric's whole point: S-boxes as boolean networks
+    mean no secret-indexed loads, so the analyzer must find zero
+    table-lookup sinks in either bitsliced module."""
+
+    @pytest.mark.parametrize("module", ["gift", "present"])
+    def test_no_table_lookup_sinks(self, module):
+        findings = findings_for(SRC / module / "bitsliced.py")
+        lookups = [f for f in findings if f.kind is SinkKind.TABLE_LOOKUP]
+        assert lookups == [], [f.expression for f in lookups]
+
+    @pytest.mark.parametrize("module", ["gift", "present"])
+    def test_no_secret_address_sinks(self, module):
+        findings = findings_for(SRC / module / "bitsliced.py")
+        assert not any(f.kind is SinkKind.MEMORY_ADDRESS for f in findings)
+
+
 class TestRepoBaseline:
     @pytest.fixture
     def baseline_path(self):

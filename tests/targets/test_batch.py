@@ -1,0 +1,165 @@
+"""The target layer's batch surface: BatchVictim and the batch hooks.
+
+Every registered target must honour the same contract:
+``make_victim_batch`` returns a drop-in victim whose batch calls equal
+the scalar loop element-for-element — vectorized where a bitsliced
+backend exists (gift64, gift128, present80) and via the exact scalar
+fallback where none does (giftcofb) — and ``batch_view`` must refuse
+to see through recording/replay wrappers so those channels stay
+scalar-exact.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gift.bitsliced import numpy_available
+from repro.seeding import derive_key, derive_rng
+from repro.targets.batch import BatchVictim
+from repro.targets.registry import get_target, target_names
+
+ALL_TARGETS = tuple(sorted(target_names()))
+BITSLICED_TARGETS = ("gift128", "gift64", "present80")
+
+
+def _pool(target_name, count=6):
+    target = get_target(target_name)
+    victim = target.make_victim(derive_key(target.key_bits, 0))
+    rng = derive_rng("targets-batch-tests", target_name)
+    return target, [rng.getrandbits(victim.width) for _ in range(count)]
+
+
+class TestMakeVictimBatch:
+    @pytest.mark.parametrize("name", ALL_TARGETS)
+    def test_encrypt_batch_equals_scalar_loop(self, name):
+        target, plaintexts = _pool(name)
+        victim = target.make_victim_batch(derive_key(target.key_bits, 0))
+        assert victim.encrypt_batch(plaintexts) \
+            == [victim.encrypt(p) for p in plaintexts]
+
+    @pytest.mark.parametrize("name", ALL_TARGETS)
+    def test_sbox_indices_batch_equals_scalar_loop(self, name):
+        target, plaintexts = _pool(name)
+        victim = target.make_victim_batch(derive_key(target.key_bits, 0))
+        limit = min(3, victim.rounds)
+        indices = victim.sbox_indices_batch(plaintexts, max_rounds=limit)
+        for n, plaintext in enumerate(plaintexts):
+            expected = victim.sbox_indices_by_round(plaintext, limit)
+            for round_index in range(limit):
+                row = indices[round_index]
+                assert [int(row[segment][n])
+                        for segment in range(len(expected[round_index]))] \
+                    == list(expected[round_index])
+
+    @pytest.mark.parametrize("name", ALL_TARGETS)
+    def test_vectorized_exactly_where_a_backend_exists(self, name):
+        target, _ = _pool(name)
+        victim = target.make_victim_batch(derive_key(target.key_bits, 0))
+        assert isinstance(victim, BatchVictim)
+        expected = numpy_available() and name in BITSLICED_TARGETS
+        assert victim.vectorized is expected
+
+    @pytest.mark.parametrize("name", ALL_TARGETS)
+    def test_scalar_surface_delegates(self, name):
+        target, plaintexts = _pool(name, count=1)
+        key = derive_key(target.key_bits, 0)
+        batch_victim = target.make_victim_batch(key)
+        scalar_victim = target.make_victim(key)
+        assert batch_victim.width == scalar_victim.width
+        assert batch_victim.rounds == scalar_victim.rounds
+        assert batch_victim.layout == scalar_victim.layout
+        assert batch_victim.encrypt(plaintexts[0]) \
+            == scalar_victim.encrypt(plaintexts[0])
+        # Optional victim attributes pass through the wrapper, so the
+        # channel's getattr probes see the real victim.
+        assert getattr(batch_victim, "probe_round_offset", 1) \
+            == getattr(scalar_victim, "probe_round_offset", 1)
+
+
+class TestReferenceEncryptBatch:
+    @pytest.mark.parametrize("name", ALL_TARGETS)
+    def test_matches_scalar_reference(self, name):
+        target, plaintexts = _pool(name)
+        key = derive_key(target.key_bits, 0)
+        assert target.reference_encrypt_batch(key, plaintexts) \
+            == [target.reference_encrypt(key, p) for p in plaintexts]
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy required")
+    @settings(max_examples=10)
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=1, max_size=6),
+           st.integers(min_value=1, max_value=28))
+    def test_gift64_reduced_round_reference(self, key, plaintexts, rounds):
+        target = get_target("gift64")
+        assert target.reference_encrypt_batch(key, plaintexts,
+                                              rounds=rounds) \
+            == [target.reference_encrypt(key, p, rounds=rounds)
+                for p in plaintexts]
+
+    @pytest.mark.parametrize("name", ALL_TARGETS)
+    def test_empty_batch(self, name):
+        target = get_target(name)
+        assert target.reference_encrypt_batch(
+            derive_key(target.key_bits, 0), []
+        ) == []
+
+
+class TestBatchView:
+    @pytest.mark.skipif(not numpy_available(), reason="numpy required")
+    @pytest.mark.parametrize("name", BITSLICED_TARGETS)
+    def test_sees_its_own_victims(self, name):
+        target, plaintexts = _pool(name)
+        victim = target.make_victim(derive_key(target.key_bits, 0))
+        view = target.batch_view(victim)
+        assert view is not None
+        assert view.encrypt_batch(plaintexts) \
+            == [victim.encrypt(p) for p in plaintexts]
+
+    def test_giftcofb_has_no_backend(self):
+        target = get_target("giftcofb")
+        victim = target.make_victim(derive_key(target.key_bits, 0))
+        assert target.batch_view(victim) is None
+
+    @pytest.mark.parametrize("name", BITSLICED_TARGETS)
+    def test_refuses_wrapped_victims(self, name):
+        # Recording and replay wrap the victim in classes the
+        # isinstance check cannot (and must not) see through: recording
+        # stays RNG-transparent, replay stays cipher-free.
+        from repro.channel.observer import ObservationChannel  # noqa: F401
+        from repro.trace import RecordingVictim, TraceHeader, TraceRecorder
+        from repro.core.config import AttackConfig
+
+        target = get_target(name)
+        victim = target.make_victim(derive_key(target.key_bits, 0))
+        header = TraceHeader.for_victim(name, victim, AttackConfig())
+        wrapped = RecordingVictim(victim, TraceRecorder(header))
+        assert target.batch_view(wrapped) is None
+
+
+class TestBatchVictimFallback:
+    """The backend-less wrapper is the exact scalar loop."""
+
+    def test_empty_sbox_indices_batch(self):
+        target = get_target("giftcofb")
+        victim = target.make_victim_batch(derive_key(target.key_bits, 0))
+        assert victim.sbox_indices_batch([], max_rounds=2) == []
+
+    def test_forced_scalar_wrapper_matches_vectorized(self):
+        target, plaintexts = _pool("gift64")
+        key = derive_key(target.key_bits, 0)
+        scalar_wrap = BatchVictim(target.make_victim(key), backend=None)
+        vectorized = target.make_victim_batch(key)
+        assert not scalar_wrap.vectorized
+        assert scalar_wrap.encrypt_batch(plaintexts) \
+            == vectorized.encrypt_batch(plaintexts)
+        limit = 3
+        scalar_indices = scalar_wrap.sbox_indices_batch(plaintexts,
+                                                        max_rounds=limit)
+        vector_indices = vectorized.sbox_indices_batch(plaintexts,
+                                                       max_rounds=limit)
+        for round_index in range(limit):
+            for segment in range(16):
+                assert list(scalar_indices[round_index][segment]) \
+                    == [int(v) for v in
+                        vector_indices[round_index][segment]]

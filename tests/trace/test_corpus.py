@@ -24,6 +24,7 @@ CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 PINNED = {
     "gift64-seed0-full.grtr": 464,
     "gift64-seed0-first.grtr": 116,
+    "gift64-seed0-miss20-full.grtr": 1856,
     "present80-seed0-full.grtr": 244,
     "present80-seed0-first.grtr": 132,
 }
@@ -105,3 +106,19 @@ class TestReplayOnlyRecovery:
         assert int(trace.header.meta["master_key"], 16) \
             == derive_key(128, 0)
         assert trace.header.meta["recovered"] is True
+
+    def test_degraded_recording_replays_through_voting(self):
+        """The 20%-miss recording rebuilds its lossy channel from the
+        header meta alone and recovers the key via voting, with the
+        exact recorded effort."""
+        trace = _read("gift64-seed0-miss20-full.grtr")
+        assert trace.header.meta["miss_probability"] == 0.2
+        config = config_from_header(trace.header)
+        assert config.loss.miss_probability == 0.2
+        assert config.voting_active
+        victim = ReplayVictim(trace)
+        result = GrinchAttack(victim, config).recover_master_key()
+        assert result.master_key == derive_key(128, 0)
+        assert result.verified
+        assert result.total_encryptions == 1856
+        assert victim.remaining == 0
