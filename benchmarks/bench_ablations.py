@@ -21,6 +21,7 @@ from repro.analysis import (
     validate_theory,
 )
 from repro.cache import CacheGeometry, SetAssociativeCache
+from repro.channel import ObservationChannel, SingleLevelTransport
 from repro.core import AttackConfig, GrinchAttack
 from repro.engine import derive_key
 from repro.gift import Gift64, TracedGift64
@@ -67,14 +68,19 @@ def test_replacement_policy_insensitivity(publish):
     key = derive_key(128, "bench-ablations", 4)
     rows = []
     for policy in ("lru", "fifo", "random"):
-        # The policy only matters on the full-simulation path.
+        # The policy only matters on the full-simulation path, and it
+        # must be built into the transport: assigning a fresh cache to
+        # `attack.runner.cache` (the pre-channel idiom this bench once
+        # used) left the transport's LRU cache in the loop, so all
+        # three rows were silently measuring LRU.
         victim = TracedGift64(key)
         config = AttackConfig(seed=6, use_fast_path=False,
                               max_total_encryptions=None)
-        attack = GrinchAttack(victim, config)
-        attack.runner.cache = SetAssociativeCache(
-            config.geometry, policy=policy
+        runner = ObservationChannel(
+            victim, config,
+            transport=SingleLevelTransport(config.geometry, policy=policy),
         )
+        attack = GrinchAttack(victim, config, runner=runner)
         outcome = attack.attack_first_round()
         rows.append([policy, f"{outcome.encryptions:,}",
                      str(outcome.recovered_bits)])

@@ -21,6 +21,7 @@ Flush+Reload:
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -46,10 +47,21 @@ class InclusionPolicy(enum.Enum):
 @dataclass
 class _Level:
     """One physical cache array (residency only, like SetAssociativeCache
-    but with eviction reporting needed for exclusive spills)."""
+    but with eviction reporting needed for exclusive spills).
+
+    ``rng_scope`` labels this array's derived replacement streams
+    (``"l1-core0"``, ``"l2"``, ...) so per-core L1s and the shared L2
+    never draw correlated random-replacement sequences; an explicit
+    ``rng`` is shared across all sets verbatim instead.  ``stats``
+    points at the owning hierarchy's counters so fills report
+    evictions where they happen.
+    """
 
     geometry: CacheGeometry
     policy_name: str = "lru"
+    rng: Optional[random.Random] = None
+    rng_scope: str = "level"
+    stats: Optional["HierarchyStats"] = None
     sets: List[Dict[int, int]] = field(default_factory=list)
     occupied: List[List[bool]] = field(default_factory=list)
     policies: List[ReplacementPolicy] = field(default_factory=list)
@@ -59,8 +71,9 @@ class _Level:
         self.sets = [{} for _ in range(count)]
         self.occupied = [[False] * self.geometry.ways for _ in range(count)]
         self.policies = [
-            make_policy(self.policy_name, self.geometry.ways)
-            for _ in range(count)
+            make_policy(self.policy_name, self.geometry.ways, self.rng,
+                        set_index=set_index, rng_scope=self.rng_scope)
+            for set_index in range(count)
         ]
 
     def lookup(self, address: int) -> bool:
@@ -91,6 +104,8 @@ class _Level:
             del ways[victim_tag]
             evicted_line = (victim_tag * self.geometry.num_sets
                             + set_index)
+            if self.stats is not None:
+                self.stats.evictions += 1
         else:
             victim_way = occupied.index(False)
         ways[tag] = victim_way
@@ -115,12 +130,25 @@ class _Level:
 
 @dataclass
 class HierarchyStats:
-    """Access counters per satisfaction level."""
+    """Access counters per satisfaction level.
+
+    Besides the where-was-it-satisfied split, the hierarchy tracks the
+    events a performance-counter-style defender can read: capacity
+    ``evictions`` (any level, reported by the level that evicted),
+    ``back_invalidates`` (L1 copies killed by an inclusive L2
+    eviction), and the per-line flush split (``flush_hits`` = the
+    flushed line was resident somewhere, ``flush_misses`` = it was
+    not — the residency signal Flush+Flush itself reads).
+    """
 
     l1_hits: int = 0
     l2_hits: int = 0
     memory_fetches: int = 0
     flushes: int = 0
+    flush_hits: int = 0
+    flush_misses: int = 0
+    evictions: int = 0
+    back_invalidates: int = 0
 
 
 class TwoLevelHierarchy:
@@ -136,18 +164,27 @@ class TwoLevelHierarchy:
                      total_lines=64, ways=4),
                  l2_geometry: CacheGeometry = CacheGeometry(
                      total_lines=1024, ways=16),
-                 inclusion: InclusionPolicy = InclusionPolicy.INCLUSIVE
-                 ) -> None:
+                 inclusion: InclusionPolicy = InclusionPolicy.INCLUSIVE,
+                 policy: str = "lru",
+                 rng: Optional[random.Random] = None) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core, got {cores}")
         if l1_geometry.line_bytes != l2_geometry.line_bytes:
             raise ValueError("L1 and L2 must share one line size")
         self.cores = cores
         self.inclusion = inclusion
-        self.l1 = [_Level(l1_geometry) for _ in range(cores)]
-        self.l2 = _Level(l2_geometry)
-        self.line_bytes = l1_geometry.line_bytes
+        self.policy_name = policy
+        self.rng = rng
         self.stats = HierarchyStats()
+        # Scope labels keep each array's derived random-replacement
+        # streams independent (ARM-style hierarchies are the use case:
+        # correlated per-set streams understate random replacement).
+        self.l1 = [
+            _Level(l1_geometry, policy, rng, f"l1-core{core}", self.stats)
+            for core in range(cores)
+        ]
+        self.l2 = _Level(l2_geometry, policy, rng, "l2", self.stats)
+        self.line_bytes = l1_geometry.line_bytes
 
     def _check_core(self, core: int) -> None:
         if not 0 <= core < self.cores:
@@ -181,20 +218,38 @@ class TwoLevelHierarchy:
         evicted = self.l1[core].fill(address)
         if (evicted is not None
                 and self.inclusion is InclusionPolicy.EXCLUSIVE):
-            # Exclusive hierarchies receive L1 victims into L2.
-            self.l2.fill(evicted * self.line_bytes)
+            # Exclusive hierarchies receive L1 victims into L2 — but
+            # only if no *other* core still caches the line privately:
+            # spilling a line another L1 holds would put it in an L1
+            # and the L2 at once, breaking exclusivity (a real design
+            # drops the clean victim; the sharer keeps serving it).
+            evicted_address = evicted * self.line_bytes
+            if not any(l1.is_resident(evicted_address)
+                       for l1 in self.l1):
+                self.l2.fill(evicted_address)
 
     def _back_invalidate(self, line: int) -> None:
         address = line * self.line_bytes
         for l1 in self.l1:
-            l1.invalidate(address)
+            if l1.invalidate(address):
+                self.stats.back_invalidates += 1
 
     def flush_line(self, address: int) -> None:
-        """clflush: remove the line from every level and core."""
+        """clflush: remove the line from every level and core.
+
+        One instruction flushes one line, so ``flushes`` advances by
+        one; whether any level actually held the line is the same
+        resident/absent split :class:`CacheStats` tracks (and the
+        timing signal Flush+Flush reads).
+        """
         self.stats.flushes += 1
-        self.l2.invalidate(address)
+        present = self.l2.invalidate(address)
         for l1 in self.l1:
-            l1.invalidate(address)
+            present = l1.invalidate(address) or present
+        if present:
+            self.stats.flush_hits += 1
+        else:
+            self.stats.flush_misses += 1
 
     def is_resident_l2(self, address: int) -> bool:
         """Shared-level residency (what a cross-core probe can sense)."""

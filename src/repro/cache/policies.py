@@ -10,9 +10,24 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from ..seeding import derive_rng
+
+
+def derive_set_rng(set_index: int, scope: Any = 0) -> random.Random:
+    """Distinct pseudo-random replacement stream for one cache set.
+
+    Every set of every cache array must draw an *independent* eviction
+    sequence: real pseudo-random replacement is per-set state.  Before
+    this helper the caches handed each set an identical copy of
+    ``derive_rng("replacement-policy", 0)``, so all sets evicted the
+    same way sequence in lockstep — correlated "random" replacement
+    that understated the policy's effect on eviction-based probes.
+    ``scope`` separates cache arrays sharing a hierarchy (per-core L1s
+    vs the shared L2) so levels do not correlate either.
+    """
+    return derive_rng("replacement-policy", scope, set_index)
 
 
 class ReplacementPolicy(ABC):
@@ -91,7 +106,10 @@ class RandomPolicy(ReplacementPolicy):
     def __init__(self, ways: int, rng: Optional[random.Random] = None) -> None:
         super().__init__(ways)
         # Scope-derived default so the eviction stream cannot collide
-        # with any attack/noise stream sharing the naked seed 0.
+        # with any attack/noise stream sharing the naked seed 0.  The
+        # cache constructors never rely on this fallback: they pass a
+        # per-set stream via make_policy(set_index=...) so sets do not
+        # evict in lockstep.
         self._rng = rng if rng is not None else derive_rng(
             "replacement-policy", 0
         )
@@ -107,12 +125,22 @@ class RandomPolicy(ReplacementPolicy):
 
 
 def make_policy(name: str, ways: int,
-                rng: Optional[random.Random] = None) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name (``lru``/``fifo``/``random``)."""
+                rng: Optional[random.Random] = None, *,
+                set_index: Optional[int] = None,
+                rng_scope: Any = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``fifo``/``random``).
+
+    An explicit ``rng`` is shared verbatim (the caller owns the stream:
+    every set handed the same object draws from one sequence, the
+    pre-fix behaviour tests may pin).  Without one, a ``set_index``
+    selects the per-set derived stream from :func:`derive_set_rng`.
+    """
     if name == "lru":
         return LruPolicy(ways)
     if name == "fifo":
         return FifoPolicy(ways)
     if name == "random":
+        if rng is None and set_index is not None:
+            rng = derive_set_rng(set_index, rng_scope)
         return RandomPolicy(ways, rng)
     raise ValueError(f"unknown replacement policy {name!r}")

@@ -19,13 +19,25 @@ from .policies import ReplacementPolicy, make_policy
 
 @dataclass
 class CacheStats:
-    """Running hit/miss/flush counters."""
+    """Running hit/miss/flush counters.
+
+    Flushes are counted **per line**: one ``clflush`` is one flush, and
+    a whole-cache flush counts every line it invalidates (not one event
+    for the whole array), so a defender reading deltas sees the same
+    magnitude whichever way the attacker empties the cache.  The
+    hit/miss split of flushes — was the flushed line resident? — is the
+    very signal Flush+Flush reads (a flush of a resident line must
+    write back, a flush of an absent line completes early), so it is
+    tracked with the same fidelity the attacker enjoys.
+    """
 
     accesses: int = 0
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     flushes: int = 0
+    flush_hits: int = 0
+    flush_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -53,9 +65,12 @@ class SetAssociativeCache:
         self._occupied: List[List[bool]] = [
             [False] * geometry.ways for _ in range(geometry.num_sets)
         ]
+        # Without an explicit rng each set gets its own derived stream
+        # (random replacement is per-set state); an explicit rng is
+        # shared across sets verbatim, as before.
         self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, geometry.ways, rng)
-            for _ in range(geometry.num_sets)
+            make_policy(policy, geometry.ways, rng, set_index=set_index)
+            for set_index in range(geometry.num_sets)
         ]
 
     # ------------------------------------------------------------------
@@ -107,16 +122,25 @@ class SetAssociativeCache:
         ways = self._sets[set_index]
         self.stats.flushes += 1
         if tag not in ways:
+            self.stats.flush_misses += 1
             return False
+        self.stats.flush_hits += 1
         way = ways.pop(tag)
         self._occupied[set_index][way] = False
         self._policies[set_index].on_invalidate(way)
         return True
 
     def flush_all(self) -> None:
-        """Invalidate the entire cache (the paper's optional flush step)."""
-        self.stats.flushes += 1
+        """Invalidate the entire cache (the paper's optional flush step).
+
+        Counted per line invalidated, consistently with
+        :meth:`flush_line` — every invalidated line was resident, so
+        they all land in ``flush_hits``.
+        """
         for set_index in range(self.geometry.num_sets):
+            invalidated = len(self._sets[set_index])
+            self.stats.flushes += invalidated
+            self.stats.flush_hits += invalidated
             for way in list(self._sets[set_index].values()):
                 self._policies[set_index].on_invalidate(way)
             self._sets[set_index].clear()

@@ -16,7 +16,12 @@ from four layers:
   :class:`ProbeJitter`, :class:`NoiseModel`;
 * **L4 observer** (:mod:`repro.channel.observer`) — the single API the
   attack, the variants and the engine consume:
-  :class:`ObservationChannel`.
+  :class:`ObservationChannel`;
+* **L4 defender** (:mod:`repro.channel.defender`) — the *other*
+  first-class consumer of the stack: a performance-counter-style
+  :class:`DefenderObserver` fed per-operation counter deltas through
+  an :class:`ObservedTransport` tap (it sits just below the observer
+  in the import order, since the observer composes it in).
 
 Lower layers never import higher ones, and nothing in this package
 imports :mod:`repro.core` or :mod:`repro.engine` — enforced by
@@ -24,6 +29,15 @@ imports :mod:`repro.core` or :mod:`repro.engine` — enforced by
 ``docs/architecture.md`` for the diagram and migration map.
 """
 
+from .defender import (
+    CounterDelta,
+    DefenderObserver,
+    DefenderReport,
+    DetectionPolicy,
+    ObservedTransport,
+    WindowCounters,
+    read_counters,
+)
 from .degradation import (
     LOSSLESS,
     NO_JITTER,
@@ -60,6 +74,13 @@ from .transport import (
 )
 
 __all__ = [
+    "CounterDelta",
+    "DefenderObserver",
+    "DefenderReport",
+    "DetectionPolicy",
+    "ObservedTransport",
+    "WindowCounters",
+    "read_counters",
     "LOSSLESS",
     "NO_JITTER",
     "NO_NOISE",

@@ -49,6 +49,7 @@ from ..cache.hierarchy import MemoryLatencies
 from ..targets.protocol import TracedVictim
 from ..seeding import derive_rng
 from ..staticcheck import secret_attributes
+from .defender import DefenderObserver
 from .monitor import SboxMonitor
 from .primitive import ProbePrimitive, make_primitive
 from .transport import CacheTransport, SingleLevelTransport
@@ -135,6 +136,13 @@ class ObservationChannel:
         Label prefix of the derived RNG streams.  The default keeps
         bit-identical streams with the historic single-core runner;
         the cross-core subclass uses ``"crosscore"``.
+    defender:
+        Optional :class:`~repro.channel.defender.DefenderObserver`.
+        When given, the transport is wrapped in a counter tap and a
+        defender window opens around every :meth:`observe` — the
+        full path runs (taps need real events), which is
+        observation- and RNG-identical to the fast path, so watching
+        never changes what the attacker sees or spends.
     """
 
     def __init__(self, victim: TracedVictim, config: Any,
@@ -142,7 +150,8 @@ class ObservationChannel:
                  transport: Optional[CacheTransport] = None,
                  primitive: Optional[ProbePrimitive] = None,
                  degradations: Optional[Sequence[Any]] = None,
-                 rng_scope: str = "runner") -> None:
+                 rng_scope: str = "runner",
+                 defender: Optional[DefenderObserver] = None) -> None:
         self.victim = victim
         self.config = config
         self.monitor = SboxMonitor.build(victim.layout, config.geometry)
@@ -150,6 +159,9 @@ class ObservationChannel:
             transport = SingleLevelTransport(config.geometry)
         else:
             transport.check_geometry(config.geometry)
+        self.defender = defender
+        if defender is not None:
+            transport = defender.watch(transport)
         self.transport = transport
         if primitive is None:
             primitive = make_primitive(
@@ -311,6 +323,8 @@ class ObservationChannel:
                 f"attacked_round must be >= 1, got {attacked_round}"
             )
         self.encryptions_run += 1
+        if self.defender is not None:
+            self.defender.begin_window(self.primitive.name)
         offset = getattr(self.victim, "probe_round_offset", 1)
         monitored_round = attacked_round + offset
         visible_through = monitored_round - 1 + self.config.probing_round
@@ -350,6 +364,8 @@ class ObservationChannel:
                 observed = degradation.drop_lines(
                     observed, self.monitor.lines, self._loss_rng
                 )
+        if self.defender is not None:
+            self.defender.end_window()
         return observed
 
     #: Historic name of :meth:`observe` (the pre-stack runner API).

@@ -24,6 +24,7 @@ probe window still performs a perturbing flush+probe cycle).
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
 from typing import Optional
 
@@ -96,9 +97,12 @@ class SingleLevelTransport(CacheTransport):
     noise_via_victim = False
     probe_on_empty_window = False
 
-    def __init__(self, geometry: CacheGeometry) -> None:
+    def __init__(self, geometry: CacheGeometry, policy: str = "lru",
+                 rng: Optional[random.Random] = None) -> None:
         self.geometry = geometry
-        self.cache = SetAssociativeCache(geometry)
+        self.policy_name = policy
+        self.rng = rng
+        self.cache = SetAssociativeCache(geometry, policy=policy, rng=rng)
 
     def access(self, address: int) -> bool:
         return self.cache.access(address)
@@ -110,7 +114,13 @@ class SingleLevelTransport(CacheTransport):
         return self.cache.access(address)
 
     def cold(self) -> "SingleLevelTransport":
-        return SingleLevelTransport(self.geometry)
+        # The replacement policy is part of the substrate's shape: a
+        # cold window on a random-replacement cache must not silently
+        # revert to LRU.  (A shared explicit rng keeps drawing from its
+        # stream; derived per-set streams restart identically, which is
+        # what per-window reproducibility wants.)
+        return SingleLevelTransport(self.geometry, self.policy_name,
+                                    self.rng)
 
     @property
     def line_bytes(self) -> int:
@@ -169,6 +179,8 @@ class SharedL2Transport(CacheTransport):
                 l1_geometry=hierarchy.l1[0].geometry,
                 l2_geometry=hierarchy.l2.geometry,
                 inclusion=hierarchy.inclusion,
+                policy=hierarchy.policy_name,
+                rng=hierarchy.rng,
             ),
             victim_core=self.victim_core,
             attacker_core=self.attacker_core,

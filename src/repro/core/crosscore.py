@@ -22,7 +22,7 @@ only the observability differs:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Optional
 
 from ..cache.multilevel import (
     InclusionPolicy,
@@ -46,7 +46,8 @@ class CrossCoreRunner(ObservationChannel):
 
     def __init__(self, victim: TracedVictim, config: AttackConfig,
                  hierarchy: Optional[TwoLevelHierarchy] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 defender: Optional[Any] = None) -> None:
         if config.probe_strategy == "prime_probe":
             raise ValueError(
                 "the cross-core runner models a clflush-based attacker"
@@ -63,17 +64,23 @@ class CrossCoreRunner(ObservationChannel):
             victim, config, rng,
             transport=SharedL2Transport(hierarchy),
             rng_scope="crosscore",
+            defender=defender,
         )
         self.hierarchy = hierarchy
 
 
 def make_cross_core_runner(victim: TracedVictim, config: AttackConfig,
-                           inclusion: InclusionPolicy
+                           inclusion: InclusionPolicy,
+                           policy: str = "lru",
+                           defender: Optional[Any] = None
                            ) -> CrossCoreRunner:
     """Build a runner over a default two-core hierarchy.
 
     The hierarchy's line size follows the attack geometry so Table-I
-    style sweeps stay meaningful cross-core.
+    style sweeps stay meaningful cross-core.  ``policy`` selects the
+    replacement policy of both levels (``"random"`` gives the
+    ARMageddon-style mobile-SoC substrate, with independently derived
+    per-set streams); ``defender`` optionally taps the transport.
     """
     from ..cache.geometry import CacheGeometry
 
@@ -85,5 +92,6 @@ def make_cross_core_runner(victim: TracedVictim, config: AttackConfig,
         l2_geometry=CacheGeometry(total_lines=1024, ways=16,
                                   line_words=line_words),
         inclusion=inclusion,
+        policy=policy,
     )
-    return CrossCoreRunner(victim, config, hierarchy)
+    return CrossCoreRunner(victim, config, hierarchy, defender=defender)

@@ -12,10 +12,9 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping
 
 from ..cache.geometry import CacheGeometry
-from ..cache.setassoc import SetAssociativeCache
 from ..core.attack import GrinchAttack
 from ..core.config import AttackConfig
-from ..channel import NoiseModel
+from ..channel import NoiseModel, ObservationChannel, SingleLevelTransport
 from ..targets.gift import TracedGift64
 from ..staticcheck import declassify
 from .artifact import trial_summary
@@ -195,14 +194,20 @@ def _policy_plan(params: Mapping[str, Any]) -> List[CellPlan]:
 
 def _policy_trial(params: Mapping[str, Any], cell: Dict[str, Any],
                   trial_index: int, seed: int) -> Dict[str, Any]:
-    # The policy only matters on the full-simulation path.
+    # The policy only matters on the full-simulation path.  It must be
+    # built into the channel's transport: the pre-channel runner held
+    # its cache directly, and assigning `attack.runner.cache` (as this
+    # trial once did) left the transport's LRU cache in the loop — the
+    # lru/fifo/random cells were silently all measuring LRU.
     config = AttackConfig(seed=seed, use_fast_path=False,
                           max_total_encryptions=None)
     victim = TracedGift64(derive_key(128, seed))
-    attack = GrinchAttack(victim, config)
-    attack.runner.cache = SetAssociativeCache(
-        config.geometry, policy=cell["policy"]
+    runner = ObservationChannel(
+        victim, config,
+        transport=SingleLevelTransport(config.geometry,
+                                       policy=cell["policy"]),
     )
+    attack = GrinchAttack(victim, config, runner=runner)
     outcome = attack.attack_first_round()
     return {"encryptions": float(outcome.encryptions),
             "recovered_bits": outcome.recovered_bits}

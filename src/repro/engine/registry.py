@@ -104,6 +104,7 @@ def _ensure_builtins() -> None:
         multitarget,
         replay,
         robustness,
+        stealth,
     )
 
 

@@ -8,6 +8,7 @@ L0    ``repro.trace``         trace record/replay substrate
 L1    ``channel.primitive``   how residency is read
 L2    ``channel.transport``   which substrate probe & victim share
 L3    ``channel.degradation`` loss/jitter decorators
+L4    ``channel.defender``    counter-tap + detection (consumer #2)
 L4    ``channel.observer``    the one public observation API
 ====  ======================  =================================
 
@@ -73,8 +74,12 @@ CHANNEL_LAYERS = {
     "primitive": 1,
     "transport": 2,
     "degradation": 3,
-    "observer": 4,
-    "__init__": 5,
+    # The defender is the stack's second L4 consumer; it sits one
+    # position below the observer in the import order because the
+    # observer composes the defender's tap in (never the reverse).
+    "defender": 4,
+    "observer": 5,
+    "__init__": 6,
 }
 
 #: Packages the channel may never import (they consume the channel).
@@ -285,7 +290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{len(violations)} layering violation(s)", file=sys.stderr)
         return 1
     print("channel layering OK "
-          f"({len(CHANNEL_LAYERS)} modules, L1 -> L4 acyclic); "
+          f"({len(CHANNEL_LAYERS)} modules, L1 -> L5 acyclic); "
           "package layering OK (cipher encapsulation, targets layer, "
           "trace layer L0, shim ban)")
     return 0

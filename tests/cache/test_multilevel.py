@@ -77,6 +77,71 @@ class TestFlush:
         assert hierarchy.access(0, 0x40) is MemoryLevel.MEMORY
 
 
+class TestCounterAccounting:
+    def test_flush_split_resident_vs_absent(self):
+        hierarchy = _inclusive()
+        hierarchy.access(0, 0x40)
+        hierarchy.flush_line(0x40)   # resident somewhere
+        hierarchy.flush_line(0x40)   # now gone
+        hierarchy.flush_line(0x800)  # never seen
+        assert hierarchy.stats.flushes == 3
+        assert hierarchy.stats.flush_hits == 1
+        assert hierarchy.stats.flush_misses == 2
+
+    def test_evictions_and_back_invalidates_counted(self):
+        hierarchy = TwoLevelHierarchy(
+            l1_geometry=CacheGeometry(total_lines=64, ways=4),
+            l2_geometry=CacheGeometry(total_lines=2, ways=2),
+            inclusion=InclusionPolicy.INCLUSIVE,
+        )
+        hierarchy.access(0, 0)
+        hierarchy.access(0, 2)
+        assert hierarchy.stats.evictions == 0
+        hierarchy.access(0, 4)  # L2 set overflows, line 0 back-invalidated
+        assert hierarchy.stats.evictions == 1
+        assert hierarchy.stats.back_invalidates == 1
+
+    def test_exclusive_spill_evictions_counted(self):
+        geometry = CacheGeometry(total_lines=4, ways=2)
+        hierarchy = TwoLevelHierarchy(
+            l1_geometry=geometry,
+            l2_geometry=CacheGeometry(total_lines=64, ways=8),
+            inclusion=InclusionPolicy.EXCLUSIVE,
+        )
+        sets = geometry.num_sets
+        for tag in range(3):
+            hierarchy.access(0, tag * sets * geometry.line_bytes)
+        # The L1 overflow that spilled tag 0 into L2 is an eviction.
+        assert hierarchy.stats.evictions == 1
+        assert hierarchy.stats.back_invalidates == 0
+
+
+class TestPolicyPlumbing:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_policy_reaches_both_levels(self, policy):
+        hierarchy = TwoLevelHierarchy(policy=policy)
+        assert hierarchy.policy_name == policy
+        assert type(hierarchy.l1[0].policies[0]).__name__.lower() \
+            .startswith(policy[:3])
+        assert type(hierarchy.l2.policies[0]).__name__.lower() \
+            .startswith(policy[:3])
+
+    def test_random_levels_draw_uncorrelated_streams(self):
+        # Per-core L1s and the shared L2 must not evict in lockstep:
+        # each array's sets get scope-derived streams.
+        hierarchy = TwoLevelHierarchy(policy="random")
+        occupied = [True] * 4
+        l1a = [hierarchy.l1[0].policies[0].victim(occupied)
+               for _ in range(12)]
+        l1b = [hierarchy.l1[1].policies[0].victim(occupied)
+               for _ in range(12)]
+        assert l1a != l1b
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            TwoLevelHierarchy(policy="plru")
+
+
 class TestInclusionInvariants:
     @settings(max_examples=20)
     @given(st.lists(
@@ -99,6 +164,41 @@ class TestInclusionInvariants:
         for core, address in accesses:
             hierarchy.access(core, address)
         assert hierarchy.inclusion_holds()
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    @pytest.mark.parametrize("inclusion", list(InclusionPolicy))
+    @settings(max_examples=15, deadline=None)
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("access"), st.integers(0, 1),
+                      st.integers(0, 255)),
+            st.tuples(st.just("flush"), st.just(0), st.integers(0, 255)),
+        ),
+        max_size=200,
+    ))
+    def test_invariant_survives_mixed_streams(self, inclusion, policy,
+                                              ops):
+        # Tiny arrays so the stream forces L1 overflows (exclusive
+        # spills), L2 evictions (inclusive back-invalidates), and
+        # flush-under-pressure — for every replacement policy.
+        hierarchy = TwoLevelHierarchy(
+            l1_geometry=CacheGeometry(total_lines=4, ways=2,
+                                      line_words=1),
+            l2_geometry=CacheGeometry(total_lines=16, ways=4,
+                                      line_words=1),
+            inclusion=inclusion,
+            policy=policy,
+        )
+        for kind, core, address in ops:
+            if kind == "access":
+                hierarchy.access(core, address)
+            else:
+                hierarchy.flush_line(address)
+            assert hierarchy.inclusion_holds()
+        flush_events = sum(1 for kind, _, _ in ops if kind == "flush")
+        assert hierarchy.stats.flushes == flush_events
+        assert hierarchy.stats.flush_hits + \
+            hierarchy.stats.flush_misses == flush_events
 
     def test_back_invalidation_on_l2_eviction(self):
         # Tiny L2 so evictions are easy to force.

@@ -8,6 +8,7 @@ from repro.cache.policies import (
     FifoPolicy,
     LruPolicy,
     RandomPolicy,
+    derive_set_rng,
     make_policy,
 )
 
@@ -77,6 +78,58 @@ class TestRandom:
     def test_raises_on_empty_set(self):
         with pytest.raises(RuntimeError):
             RandomPolicy(2).victim([False, False])
+
+
+class TestDerivedSetStreams:
+    """Regression: random replacement must be per-set state.
+
+    The caches used to hand every set the same
+    ``derive_rng("replacement-policy", 0)`` stream, so all sets evicted
+    in lockstep — correlated "random" replacement.
+    """
+
+    def test_distinct_sets_draw_distinct_sequences(self):
+        a = derive_set_rng(0)
+        b = derive_set_rng(1)
+        assert [a.randrange(1 << 30) for _ in range(8)] != \
+            [b.randrange(1 << 30) for _ in range(8)]
+
+    def test_same_set_same_scope_is_deterministic(self):
+        a = derive_set_rng(3, "l2")
+        b = derive_set_rng(3, "l2")
+        assert [a.random() for _ in range(8)] == \
+            [b.random() for _ in range(8)]
+
+    def test_scopes_decorrelate_hierarchy_levels(self):
+        l1 = derive_set_rng(0, "l1-core0")
+        l2 = derive_set_rng(0, "l2")
+        assert [l1.random() for _ in range(8)] != \
+            [l2.random() for _ in range(8)]
+
+    def test_factory_per_set_policies_pick_different_victims(self):
+        occupied = [True] * 8
+        streams = [
+            [make_policy("random", 8, set_index=i).victim(occupied)
+             for _ in range(16)]
+            for i in range(4)
+        ]
+        # At least one pair of sets must disagree somewhere (with
+        # 16 draws over 8 ways, identical sequences would be the
+        # lockstep bug).
+        assert len({tuple(s) for s in streams}) > 1
+
+    def test_explicit_rng_reproduces_shared_stream(self):
+        # The pre-fix behaviour is still constructible on demand: an
+        # explicit rng object is shared verbatim, so every "set" handed
+        # the same generator interleaves draws from one sequence.
+        shared = random.Random(42)
+        a = make_policy("random", 8, shared, set_index=0)
+        b = make_policy("random", 8, shared, set_index=1)
+        expected = random.Random(42)
+        occupied = [True] * 8
+        draws = [a.victim(occupied), b.victim(occupied),
+                 a.victim(occupied)]
+        assert draws == [expected.choice(range(8)) for _ in range(3)]
 
 
 class TestFactory:

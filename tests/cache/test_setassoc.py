@@ -85,6 +85,80 @@ class TestFlush:
         assert cache.access(0) is True
 
 
+class TestFlushAccounting:
+    def test_flush_line_splits_resident_and_absent(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        cache.flush_line(0x1000)  # resident
+        cache.flush_line(0x1000)  # now absent
+        cache.flush_line(0x9999)  # never resident
+        assert cache.stats.flushes == 3
+        assert cache.stats.flush_hits == 1
+        assert cache.stats.flush_misses == 2
+
+    def test_flush_all_counts_every_invalidated_line(self):
+        cache = SetAssociativeCache(small_geometry)
+        for address in range(7):
+            cache.access(address)
+        cache.flush_all()
+        # One clflush per line: 7 resident lines = 7 flushes, and a
+        # flush_all by construction only ever hits.
+        assert cache.stats.flushes == 7
+        assert cache.stats.flush_hits == 7
+        assert cache.stats.flush_misses == 0
+
+    def test_flush_all_of_empty_cache_counts_nothing(self):
+        cache = SetAssociativeCache()
+        cache.flush_all()
+        assert cache.stats.flushes == 0
+
+
+class TestPerSetRandomStreams:
+    def test_sets_do_not_evict_in_lockstep(self):
+        # Two sets, identical access patterns: with per-set derived
+        # streams their eviction choices must eventually diverge (the
+        # pre-fix shared stream made every set's residency identical).
+        geometry = CacheGeometry(total_lines=8, ways=4, line_words=1)
+        cache = SetAssociativeCache(geometry, policy="random")
+        sets = geometry.num_sets
+        for tag in range(12):
+            cache.access(tag * sets + 0)
+            cache.access(tag * sets + 1)
+        survivors = [
+            frozenset(tag for tag in range(12)
+                      if cache.is_resident(tag * sets + set_index))
+            for set_index in (0, 1)
+        ]
+        assert survivors[0] != survivors[1]
+
+    def test_shared_explicit_rng_couples_sets(self):
+        # An explicit rng restores the pre-fix semantics: one stream
+        # shared by every set, so set 0's evictions consume draws that
+        # change set 1's outcome.  With the default per-set streams,
+        # set 1 is independent of set 0's traffic.
+        geometry = CacheGeometry(total_lines=8, ways=4, line_words=1)
+        sets = geometry.num_sets
+
+        def set1_survivors(with_set0_traffic, rng):
+            cache = SetAssociativeCache(geometry, policy="random",
+                                        rng=rng)
+            for tag in range(12):
+                if with_set0_traffic:
+                    cache.access(tag * sets + 0)
+                cache.access(tag * sets + 1)
+            return frozenset(
+                tag for tag in range(12)
+                if cache.is_resident(tag * sets + 1)
+            )
+
+        shared = (set1_survivors(True, random.Random(5)),
+                  set1_survivors(False, random.Random(5)))
+        assert shared[0] != shared[1]
+        derived = (set1_survivors(True, None),
+                   set1_survivors(False, None))
+        assert derived[0] == derived[1]
+
+
 class TestStats:
     def test_counters(self):
         cache = SetAssociativeCache()

@@ -7,7 +7,7 @@ from repro.engine.params import Param, spec
 from repro.engine.registry import CellPlan, Experiment
 
 #: Every experiment DESIGN.md names, by its index ID.
-DESIGN_IDS = [f"E{i}" for i in range(1, 20)]
+DESIGN_IDS = [f"E{i}" for i in range(1, 21)]
 
 
 class TestBuiltinRegistry:

@@ -1,0 +1,145 @@
+"""E20 (stealth vs effort) engine integration: registration, worker
+determinism, the detectability ordering, and the hierarchy
+countermeasure row."""
+
+import pytest
+
+from repro.engine import run_experiment, validate_record
+from repro.engine.registry import get
+
+#: A fast E20 slice: same-core frontier only, both flush primitives.
+SMALL_RUN = {
+    "runs": 2,
+    "scope": "first_round",
+    "primitives": "flush_reload,flush_flush",
+    "scenarios": "same_core",
+}
+
+#: The mobile-SoC rows alone (Flush+Reload over the random-replacement
+#: hierarchy, inclusive vs exclusive).
+MOBILE_RUN = {
+    "runs": 1,
+    "scope": "first_round",
+    "primitives": "flush_reload",
+    "scenarios": "mobile_soc_inclusive,mobile_soc_exclusive",
+}
+
+
+class TestRegistration:
+    def test_resolvable_by_name_id_and_alias(self):
+        assert get("stealth_vs_effort").experiment_id == "E20"
+        assert get("E20").name == "stealth_vs_effort"
+        assert get("stealth-vs-effort").name == "stealth_vs_effort"
+        assert get("e20").name == "stealth_vs_effort"
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError, match="unknown primitive"):
+            run_experiment("stealth_vs_effort",
+                           {**SMALL_RUN, "primitives": "evict_reload"},
+                           workers=1, use_cache=False)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_experiment("stealth_vs_effort",
+                           {**SMALL_RUN, "scenarios": "smartwatch"},
+                           workers=1, use_cache=False)
+
+
+class TestWorkerDeterminism:
+    def test_parallel_equals_serial(self):
+        serial = run_experiment("stealth_vs_effort", SMALL_RUN,
+                                workers=1, use_cache=False)
+        parallel = run_experiment("stealth_vs_effort", SMALL_RUN,
+                                  workers=2, use_cache=False)
+        assert serial["cells"] == parallel["cells"]
+        assert serial["summary"] == parallel["summary"]
+        assert parallel["telemetry"]["workers"] == 2
+
+
+class TestFrontier:
+    def test_record_shape_and_stealth_ordering(self):
+        record = run_experiment("stealth_vs_effort", SMALL_RUN,
+                                workers=1, use_cache=False)
+        validate_record(record)
+        flush_reload, flush_flush = record["cells"]
+        assert flush_reload["cell"]["primitive"] == "flush_reload"
+        assert flush_reload["success_rate"] == 1.0
+        assert flush_flush["success_rate"] == 1.0
+
+        # Every trial carries the defender's verdict.
+        for cell in record["cells"]:
+            for trial in cell["trials"]:
+                assert trial["defender"]["windows"] == \
+                    trial["encryptions"]
+
+        summary = record["summary"]
+        # The acceptance bar: Flush+Flush is *strictly* stealthier at
+        # <= 2x the effort.
+        assert summary["flush_flush_stealthier"]
+        assert summary["flush_flush_effort_ratio"] <= 2.0
+        assert flush_flush["detectability"] == 0.0
+        assert flush_flush["detection_rate"] == 0.0
+        assert flush_reload["detectability"] > 0.0
+
+    def test_prime_probe_is_the_loudest(self):
+        record = run_experiment(
+            "stealth_vs_effort",
+            {**SMALL_RUN, "runs": 1,
+             "primitives": "flush_reload,prime_probe,flush_flush"},
+            workers=1, use_cache=False,
+        )
+        summary = record["summary"]
+        assert summary["prime_probe_most_detectable"]
+        frontier = summary["frontier"]
+        assert frontier["prime_probe"]["detection_rate"] == 1.0
+        assert frontier["prime_probe"]["detectability"] > \
+            frontier["flush_reload"]["detectability"]
+
+    def test_render_lists_every_row(self):
+        experiment = get("stealth_vs_effort")
+        record = run_experiment("stealth_vs_effort", SMALL_RUN,
+                                workers=1, use_cache=False)
+        table = experiment.render(record)
+        assert "E20" in table
+        assert "flush_reload" in table and "flush_flush" in table
+        assert "Detectability" in table
+
+
+class TestMobileSoc:
+    def test_exclusive_hierarchy_is_a_countermeasure(self):
+        record = run_experiment("stealth_vs_effort", MOBILE_RUN,
+                                workers=1, use_cache=False)
+        validate_record(record)
+        summary = record["summary"]
+        assert summary["hierarchy_countermeasure_holds"]
+        frontier = summary["frontier"]
+        assert frontier["mobile_soc_inclusive"]["success_rate"] == 1.0
+        assert frontier["mobile_soc_exclusive"]["success_rate"] == 0.0
+        # Mobile rows are priced in NoC wall-clock.
+        for cell in record["cells"]:
+            assert cell["estimated_attack_seconds"] > 0.0
+
+
+class TestDefenderTransparency:
+    def test_watched_seed0_recovery_still_takes_464_encryptions(self):
+        """The RNG-transparency pin at engine level: running the
+        seed-0 full-key attack under the defender leaves the effort
+        bit-identical to the unwatched channel (tests/channel pins the
+        unwatched number to 464)."""
+        from repro.channel import DefenderObserver, ObservationChannel
+        from repro.core.attack import GrinchAttack
+        from repro.core.config import AttackConfig
+        from repro.seeding import derive_key
+        from repro.targets.gift import TracedGift64
+
+        key = derive_key(128, 0)
+        victim = TracedGift64(key)
+        defender = DefenderObserver()
+        config = AttackConfig(seed=0)
+        result = GrinchAttack(
+            victim, config,
+            runner=ObservationChannel(victim, config, defender=defender),
+        ).recover_master_key()
+        assert result.master_key == key
+        assert result.total_encryptions == 464
+        assert defender.report().windows == 464

@@ -26,7 +26,8 @@ CLEAN_STACK = {
     "primitive": "from repro.channel.monitor import STATE\n",
     "transport": "from repro.channel.primitive import STATE\n",
     "degradation": "from repro.channel.transport import STATE\n",
-    "observer": "from repro.channel.degradation import STATE\n",
+    "defender": "from repro.channel.degradation import STATE\n",
+    "observer": "from repro.channel.defender import STATE\n",
     "__init__": "from repro.channel.observer import STATE\n",
 }
 
@@ -39,7 +40,7 @@ class TestRealPackage:
         # Strictly increasing indices over the documented stack order
         # guarantee "import strictly downward" admits no cycle.
         order = ["monitor", "primitive", "transport", "degradation",
-                 "observer", "__init__"]
+                 "defender", "observer", "__init__"]
         assert sorted(CHANNEL_LAYERS, key=CHANNEL_LAYERS.get) == order
         assert len(set(CHANNEL_LAYERS.values())) == len(CHANNEL_LAYERS)
 
